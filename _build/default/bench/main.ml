@@ -1,0 +1,177 @@
+(* Bechamel benchmarks: one Test.make per experiment table (E1..E12),
+   measuring the cost of the algorithm that regenerates it.  Run with:
+   dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let fmin = 0.2
+let fmax = 1.0
+let levels = [| 0.2; 0.4; 0.6; 0.8; 1.0 |]
+let rel = Rel.make ~lambda0:1e-5 ~sensitivity:3. ~fmin ~fmax ~frel:0.8 ()
+
+(* Fixed instances, prepared once so staged closures only measure the
+   algorithms themselves. *)
+
+let fork_dag =
+  let rng = Es_util.Rng.create ~seed:1 in
+  Generators.fork rng ~n:16 ~wlo:0.5 ~whi:3.
+
+let fork_mapping = Mapping.one_task_per_proc fork_dag
+let fork_deadline = 2. *. List_sched.makespan_at_speed fork_mapping ~f:fmax
+
+let sp =
+  let rng = Es_util.Rng.create ~seed:2 in
+  Generators.random_sp rng ~n:24 ~wlo:0.5 ~whi:3.
+
+let layered_mapping, layered_deadline =
+  let rng = Es_util.Rng.create ~seed:3 in
+  let dag = Generators.random_layered rng ~layers:4 ~width:3 ~density:0.5 ~wlo:1. ~whi:3. in
+  let m = List_sched.schedule dag ~p:3 ~priority:List_sched.Bottom_level in
+  (m, 1.6 *. List_sched.makespan_at_speed m ~f:fmax)
+
+let small_mapping, small_deadline =
+  let rng = Es_util.Rng.create ~seed:4 in
+  let dag = Generators.random_layered rng ~layers:3 ~width:3 ~density:0.5 ~wlo:1. ~whi:3. in
+  let m = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
+  (m, 1.5 *. List_sched.makespan_at_speed m ~f:fmax)
+
+let chain_mapping, chain_deadline =
+  let rng = Es_util.Rng.create ~seed:5 in
+  let dag = Generators.chain rng ~n:10 ~wlo:0.5 ~whi:3. in
+  let m = Mapping.single_processor dag in
+  (m, 2.5 *. Dag.total_weight dag /. fmax)
+
+let vdd_chain_mapping, vdd_chain_deadline =
+  let rng = Es_util.Rng.create ~seed:6 in
+  let dag = Generators.chain rng ~n:6 ~wlo:0.5 ~whi:2. in
+  let m = Mapping.single_processor dag in
+  (m, 2. *. Dag.total_weight dag /. fmax)
+
+let repl_weights =
+  let rng = Es_util.Rng.create ~seed:7 in
+  Es_util.Rng.sample_weights rng ~n:8 ~lo:0.5 ~hi:3.
+
+let repl_deadline = 2. *. Es_util.Futil.sum repl_weights /. fmax
+
+let sim_schedule =
+  let speeds = Array.make (Dag.n (Mapping.dag chain_mapping)) 0.5 in
+  Schedule.of_speeds chain_mapping ~speeds
+
+let bounds m =
+  let n = Dag.n (Mapping.dag m) in
+  (Array.make n fmin, Array.make n fmax)
+
+let staged_exn name f =
+  Test.make ~name
+    (Staged.stage (fun () -> match f () with Some _ -> () | None -> failwith name))
+
+let tests =
+  [
+    (* E1: fork closed form *)
+    Test.make ~name:"e1-fork-closed-form"
+      (Staged.stage (fun () ->
+           let root = Dag.weight fork_dag 0 in
+           let children = Array.init 16 (fun i -> Dag.weight fork_dag (i + 1)) in
+           ignore
+             (Bicrit_continuous.fork_speeds ~root ~children ~deadline:fork_deadline ~fmax)));
+    (* E1/E2: barrier convex solver *)
+    staged_exn "e1-barrier-solver" (fun () ->
+        let lo, hi = bounds fork_mapping in
+        Bicrit_continuous.solve_general ~lo ~hi ~deadline:fork_deadline fork_mapping);
+    (* E2: SP recursion *)
+    Test.make ~name:"e2-sp-recursion"
+      (Staged.stage (fun () ->
+           ignore (Bicrit_continuous.sp_speeds sp ~deadline:(2. *. Sp.total_weight sp))));
+    (* E3: VDD-HOPPING LP *)
+    staged_exn "e3-vdd-lp" (fun () ->
+        Bicrit_vdd.solve ~deadline:layered_deadline ~levels layered_mapping);
+    (* E4: incremental approximation *)
+    staged_exn "e4-incremental-approx" (fun () ->
+        Bicrit_incremental.approximate ~deadline:layered_deadline ~fmin ~fmax ~delta:0.1
+          layered_mapping);
+    (* E5: discrete exact B&B *)
+    staged_exn "e5-discrete-bb" (fun () ->
+        Bicrit_discrete.solve_exact ?node_limit:None ~deadline:small_deadline ~levels
+          small_mapping);
+    (* E6: tri-crit chain greedy *)
+    staged_exn "e6-tricrit-chain-greedy" (fun () ->
+        Tricrit_chain.solve_greedy ~rel ~deadline:chain_deadline chain_mapping);
+    (* E7: tri-crit fork polynomial algorithm *)
+    staged_exn "e7-tricrit-fork-poly" (fun () ->
+        Tricrit_fork.solve ?grid:None ~rel ~deadline:fork_deadline fork_dag);
+    (* E8: best-of heuristics *)
+    staged_exn "e8-heuristics-best-of" (fun () ->
+        Heuristics.best_of ~rel ~deadline:layered_deadline layered_mapping);
+    (* E9: tri-crit vdd fixed-subset LP *)
+    staged_exn "e9-tricrit-vdd-lp" (fun () ->
+        let n = Dag.n (Mapping.dag vdd_chain_mapping) in
+        Tricrit_vdd.solve_subset ~rel ~deadline:vdd_chain_deadline ~levels
+          vdd_chain_mapping
+          ~subset:(Array.init n (fun i -> i mod 2 = 0)));
+    (* E10: fault-injection simulator (1000 trials) *)
+    Test.make ~name:"e10-sim-1000-trials"
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.monte_carlo (Es_util.Rng.create ~seed:8) ~rel ~trials:1000 sim_schedule)));
+    (* E11: list scheduling *)
+    Test.make ~name:"e11-list-scheduling"
+      (Staged.stage
+         (let rng = Es_util.Rng.create ~seed:9 in
+          let dag =
+            Generators.random_layered rng ~layers:6 ~width:5 ~density:0.4 ~wlo:1. ~whi:3.
+          in
+          fun () -> ignore (List_sched.schedule dag ~p:4 ~priority:List_sched.Bottom_level)));
+    (* E12: replication greedy *)
+    staged_exn "e12-replication-greedy" (fun () ->
+        Replication.solve_greedy ~rel ~deadline:repl_deadline ~weights:repl_weights);
+    (* E13: exact general-DAG tri-crit (2^n barrier solves, small n) *)
+    staged_exn "e13-tricrit-exact-n6" (fun () ->
+        Tricrit_exact.solve ?max_n:None ~rel ~deadline:vdd_chain_deadline
+          vdd_chain_mapping);
+    (* E14: checkpointing segmentation *)
+    staged_exn "e14-checkpointing" (fun () ->
+        (* worst case re-runs every segment: needs more than 2x slack *)
+        Checkpointing.solve ?speed_grid:None ~rel ~checkpoint_work:0.2
+          ~deadline:(2. *. repl_deadline) ~weights:repl_weights);
+    (* E15: static-power closed form *)
+    staged_exn "e15-power-ablation" (fun () ->
+        Power.ablation_penalty ~static:0.25 ~weights:repl_weights
+          ~deadline:repl_deadline ~fmin:0.05 ~fmax);
+    (* chain knapsack DP *)
+    staged_exn "e6-tricrit-chain-dp" (fun () ->
+        Tricrit_chain.solve_dp ?buckets:None ~rel ~deadline:chain_deadline chain_mapping);
+  ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"energy_sched" tests) in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let () =
+  let results = benchmark () in
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> print_endline "no results"
+  | Some tbl ->
+    let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+    let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+    let table = Es_util.Table.create ~columns:[ "benchmark"; "time/run" ] in
+    List.iter
+      (fun (name, ols) ->
+        let time =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) ->
+            if t > 1e9 then Printf.sprintf "%.3f s" (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%.3f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%.3f us" (t /. 1e3)
+            else Printf.sprintf "%.1f ns" t
+          | _ -> "n/a"
+        in
+        Es_util.Table.add_row table [ name; time ])
+      rows;
+    Es_util.Table.print
+      ~caption:"Per-run cost of each experiment's core algorithm (OLS time estimate)"
+      table

@@ -1,0 +1,1 @@
+bin/esched.ml: Arg Array Bicrit_continuous Cmd Cmdliner Dag Dot Es_util Float Format Gantt Generators Heuristics List List_sched Pareto Printf Rel Schedule Sim Solver Speed Term Validate

@@ -1,0 +1,1 @@
+examples/dvfs_models.ml: Bicrit_continuous Bicrit_discrete Bicrit_incremental Bicrit_vdd Dag Es_util Float Generators List List_sched Option Printf Schedule

@@ -1,0 +1,1 @@
+examples/exascale_reliability.ml: Bicrit_continuous Dag Es_util Generators Heuristics List List_sched Printf Rel Schedule Sim Speed Validate

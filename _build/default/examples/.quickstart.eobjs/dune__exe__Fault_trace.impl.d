@@ -1,0 +1,1 @@
+examples/fault_trace.ml: Array Dag Es_util Generators List Mapping Printf Rel Schedule Sim Trace Tricrit_chain

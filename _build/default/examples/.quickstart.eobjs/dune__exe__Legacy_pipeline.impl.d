@@ -1,0 +1,1 @@
+examples/legacy_pipeline.ml: Dag Dot Es_util Float Generators List List_sched Pareto Printf Rel

@@ -1,0 +1,1 @@
+examples/legacy_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bicrit_continuous Dag Format Gantt List_sched Mapping Printf Schedule Speed Validate

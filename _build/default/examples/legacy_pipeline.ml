@@ -1,0 +1,57 @@
+(* Legacy-application scenario (Section II): the mapping is fixed —
+   here produced once by critical-path list scheduling for a tiled LU
+   factorisation task graph — and the only freedom left is the speed
+   (and re-execution) of each task.  We sweep the deadline to expose
+   the energy/makespan Pareto front, with and without the reliability
+   constraint.
+
+   Run with:  dune exec examples/legacy_pipeline.exe *)
+
+let fmin = 0.2
+let fmax = 1.0
+
+let () =
+  let dag = Generators.lu ~n:4 in
+  let mapping = List_sched.schedule dag ~p:4 ~priority:List_sched.Bottom_level in
+  let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
+  Printf.printf "Tiled LU (4x4 grid): %d tasks, %d edges, mapped on 4 processors\n"
+    (Dag.n dag) (Dag.n_edges dag);
+  Printf.printf "Dmin = %.3f\n\n" dmin;
+
+  let rel = Rel.make ~lambda0:1e-5 ~sensitivity:3. ~fmin ~fmax ~frel:0.8 () in
+  let slacks = [ 1.05; 1.2; 1.5; 2.0; 2.5; 3.0; 4.0 ] in
+  let deadlines = List.map (fun s -> s *. dmin) slacks in
+
+  let bicrit = Pareto.bicrit_front ~fmin ~fmax ~deadlines mapping in
+  let tricrit = Pareto.tricrit_front ~rel ~deadlines mapping in
+
+  let table =
+    Es_util.Table.create
+      ~columns:[ "D/Dmin"; "E bi-crit"; "E tri-crit"; "#re-executed"; "reliability tax" ]
+  in
+  List.iter2
+    (fun slack deadline ->
+      let find front =
+        List.find_opt (fun p -> Float.abs (p.Pareto.deadline -. deadline) < 1e-9) front
+      in
+      match (find bicrit, find tricrit) with
+      | Some b, Some t ->
+        Es_util.Table.add_row table
+          [
+            Printf.sprintf "%.2f" slack;
+            Printf.sprintf "%.4f" b.Pareto.energy;
+            Printf.sprintf "%.4f" t.Pareto.energy;
+            string_of_int t.Pareto.n_reexecuted;
+            Printf.sprintf "%.2fx" (t.Pareto.energy /. b.Pareto.energy);
+          ]
+      | _ -> Es_util.Table.add_row table [ Printf.sprintf "%.2f" slack; "-"; "-"; "-"; "-" ])
+    slacks deadlines;
+  Es_util.Table.print
+    ~caption:
+      "Energy/deadline front for a fixed legacy mapping.  The 'reliability tax'\n\
+       (tri-crit vs unconstrained bi-crit) shrinks as re-execution engages."
+    table;
+
+  (* export the task graph for the curious *)
+  Dot.to_file ?name:(Some "lu") dag ~path:"lu_dag.dot";
+  print_endline "\nTask graph written to lu_dag.dot (render with: dot -Tpdf lu_dag.dot)"

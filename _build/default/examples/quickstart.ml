@@ -1,0 +1,43 @@
+(* Quickstart: the smallest end-to-end use of the library.
+
+   Build a task graph, map it onto processors with critical-path list
+   scheduling, minimise energy under a deadline (BI-CRIT, CONTINUOUS
+   model), and inspect the resulting schedule.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* A diamond-shaped application: T0 fans out to T1/T2, which join
+     into T3.  Weights are computation requirements. *)
+  let dag =
+    Dag.make ?labels:None ~weights:[| 2.; 3.; 1.5; 2.5 |]
+      ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+  in
+
+  (* Map onto 2 identical processors, critical path first. *)
+  let mapping = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
+  Printf.printf "Mapping:\n";
+  Format.printf "%a@." Mapping.pp mapping;
+
+  (* The tightest possible deadline is the makespan at full speed. *)
+  let dmin = List_sched.makespan_at_speed mapping ~f:1.0 in
+  let deadline = 1.5 *. dmin in
+  Printf.printf "Dmin = %.3f, working with D = %.3f\n\n" dmin deadline;
+
+  (* BI-CRIT: minimise energy subject to the deadline. *)
+  match Bicrit_continuous.solve ~deadline ~fmin:0.2 ~fmax:1.0 mapping with
+  | None -> print_endline "No schedule fits this deadline."
+  | Some sched ->
+    Printf.printf "Optimal energy: %.5f (vs %.5f at full speed)\n"
+      (Schedule.energy sched)
+      (Schedule.energy (Schedule.uniform mapping ~speed:1.0));
+    Printf.printf "Worst-case makespan: %.5f <= %.5f\n\n" (Schedule.makespan sched)
+      deadline;
+    Printf.printf "Per-task speeds:\n";
+    Format.printf "%a@." Schedule.pp sched;
+    (* Always sanity-check against the validator. *)
+    let ok =
+      Validate.is_feasible ~deadline ~model:(Speed.continuous ~fmin:0.2 ~fmax:1.0) sched
+    in
+    Printf.printf "validator: %s\n" (if ok then "OK" else "VIOLATION");
+    Gantt.print ?width:None ~deadline sched

@@ -1,0 +1,1 @@
+lib/core/bicrit_continuous.ml: Array Dag Es_linalg Es_numopt Es_util Float Fun List Mapping Schedule Sp

@@ -1,0 +1,1 @@
+lib/core/bicrit_continuous.mli: Mapping Schedule Sp

@@ -1,0 +1,1 @@
+lib/core/bicrit_discrete.ml: Array Bicrit_continuous Dag Es_util Float List Mapping Schedule

@@ -1,0 +1,1 @@
+lib/core/bicrit_discrete.mli: Mapping Schedule

@@ -1,0 +1,1 @@
+lib/core/bicrit_incremental.ml: Array Bicrit_continuous Dag Es_util Mapping Schedule Speed

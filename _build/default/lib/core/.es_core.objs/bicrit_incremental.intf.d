@@ -1,0 +1,1 @@
+lib/core/bicrit_incremental.mli: Mapping Schedule

@@ -1,0 +1,1 @@
+lib/core/bicrit_vdd.ml: Array Dag Es_lp Es_util Float List Mapping Printf Schedule

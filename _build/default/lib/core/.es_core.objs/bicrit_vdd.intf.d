@@ -1,0 +1,1 @@
+lib/core/bicrit_vdd.mli: Mapping Schedule

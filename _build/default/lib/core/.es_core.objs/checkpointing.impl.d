@@ -1,0 +1,1 @@
+lib/core/checkpointing.ml: Array Es_util Float List Option Rel Tricrit_chain

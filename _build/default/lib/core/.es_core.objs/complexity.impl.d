@@ -1,0 +1,1 @@
+lib/core/complexity.ml: Array Bicrit_discrete Dag Es_util Float List Mapping Rel Speed

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Bicrit_continuous Dag Float Fun List Mapping Option Rel Schedule

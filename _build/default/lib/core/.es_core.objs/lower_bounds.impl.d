@@ -1,0 +1,1 @@
+lib/core/lower_bounds.ml: Array Bicrit_continuous Dag Es_util Float Mapping Rel

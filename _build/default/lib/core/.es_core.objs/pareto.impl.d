@@ -1,0 +1,1 @@
+lib/core/pareto.ml: Array Bicrit_continuous Dag Heuristics List Mapping

@@ -1,0 +1,1 @@
+lib/core/replication.ml: Array Es_numopt Es_util Float Printf Rel

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Bicrit_continuous Bicrit_discrete Bicrit_incremental Bicrit_vdd Dag Es_util Heuristics Mapping Printf Rel Schedule Speed Tricrit_vdd

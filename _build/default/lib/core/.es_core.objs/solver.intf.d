@@ -1,0 +1,1 @@
+lib/core/solver.mli: Mapping Rel Schedule Speed

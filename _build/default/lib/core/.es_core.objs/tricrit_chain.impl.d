@@ -1,0 +1,1 @@
+lib/core/tricrit_chain.ml: Array Dag Es_numopt Es_util Float List Mapping Printf Rel Schedule

@@ -1,0 +1,1 @@
+lib/core/tricrit_chain.mli: Mapping Rel Schedule

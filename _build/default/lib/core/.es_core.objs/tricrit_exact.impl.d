@@ -1,0 +1,1 @@
+lib/core/tricrit_exact.ml: Array Dag Float Fun Heuristics List Mapping Printf Rel

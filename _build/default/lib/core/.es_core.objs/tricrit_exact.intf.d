@@ -1,0 +1,1 @@
+lib/core/tricrit_exact.mli: Dag Heuristics Mapping Rel

@@ -1,0 +1,1 @@
+lib/core/tricrit_fork.ml: Array Dag Es_numopt Float List Mapping Rel Schedule

@@ -1,0 +1,1 @@
+lib/core/tricrit_fork.mli: Dag Rel Schedule

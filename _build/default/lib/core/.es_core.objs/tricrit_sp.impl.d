@@ -1,0 +1,1 @@
+lib/core/tricrit_sp.ml: Array Bicrit_continuous Heuristics List Mapping Sp Tricrit_fork

@@ -1,0 +1,1 @@
+lib/core/tricrit_sp.mli: Heuristics Rel Sp

@@ -1,0 +1,1 @@
+lib/core/tricrit_vdd.ml: Array Dag Es_lp Es_numopt Es_util Float Heuristics List Mapping Printf Rel Schedule

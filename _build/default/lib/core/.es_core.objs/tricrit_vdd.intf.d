@@ -1,0 +1,1 @@
+lib/core/tricrit_vdd.mli: Mapping Rel Schedule

@@ -1,0 +1,1 @@
+lib/core/vdd_hull.ml: Array Dag Float List Mapping Schedule

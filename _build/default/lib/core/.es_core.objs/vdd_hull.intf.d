@@ -1,0 +1,1 @@
+lib/core/vdd_hull.mli: Mapping Schedule

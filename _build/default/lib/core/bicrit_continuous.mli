@@ -1,0 +1,83 @@
+(** BI-CRIT under the CONTINUOUS model (Section III of the paper).
+
+    Minimise [E = Σ wᵢ·fᵢ²] subject to the deadline [D], speeds free in
+    [\[fmin, fmax\]], mapping given.  The paper provides closed forms
+    for special structures — chains, forks (the theorem quoted in
+    Section III) and series-parallel graphs — and reduces general DAGs
+    to a geometric program; here the geometric program is solved by the
+    log-barrier method of {!Es_numopt.Barrier} on the equivalent convex
+    program over start times and durations.
+
+    {!solve_general} is the workhorse shared with the TRI-CRIT
+    heuristics: it accepts per-task {e effective} weights and speed
+    bounds, which is exactly what re-execution decisions and
+    reliability floors induce. *)
+
+type result = {
+  speeds : float array;  (** optimal speed per task *)
+  energy : float;  (** [Σ wᵢ·fᵢ²] *)
+}
+
+val chain : weights:float array -> deadline:float -> fmin:float -> fmax:float -> result option
+(** Closed form for a linear chain on one processor: the unique KKT
+    point runs every task at the common speed [Σw/D] (clamped to
+    [fmin] from below).  [None] when even [fmax] misses the deadline. *)
+
+val fork_speeds :
+  root:float -> children:float array -> deadline:float -> fmax:float -> result option
+(** The paper's fork theorem.  With [W₃ = (Σ wᵢ³)^{1/3}]:
+    [f₀ = (W₃ + w₀)/D] for the source and [fᵢ = f₀·wᵢ/W₃] for the
+    children; if [f₀ > fmax] the source runs at [fmax] and the children
+    at [wᵢ/(D − w₀/fmax)]; [None] when any child then still exceeds
+    [fmax].  The returned speeds array is [\[|f₀; f₁; …; fₙ|\]]. *)
+
+val fork_energy : root:float -> children:float array -> deadline:float -> float
+(** The closed-form optimal energy
+    [((Σ wᵢ³)^{1/3} + w₀)³ / D²] (valid when no speed is clamped). *)
+
+val sp_equivalent_weight : Sp.t -> float
+(** The SP recursion behind the closed forms: series composition adds
+    equivalent weights, parallel composition combines them as
+    [(W_A³ + W_B³)^{1/3}].  The optimal energy of an SP graph (each
+    branch on its own processor, no speed bound binding) is
+    [W_eq³/D²]. *)
+
+val sp_speeds : Sp.t -> deadline:float -> result
+(** Closed-form optimal speeds for an SP graph, leaf order matching
+    {!Sp.to_dag}: the root receives the full window [D], series nodes
+    split their window proportionally to equivalent weights, parallel
+    nodes share it.  Assumes no speed bound binds (the experiment
+    checks this against {!solve}). *)
+
+val solve_general :
+  ?eff_weights:float array ->
+  ?lo:float array ->
+  ?hi:float array ->
+  ?tol:float ->
+  deadline:float ->
+  Mapping.t ->
+  result option
+(** Barrier solve of the convex program over the mapping's constraint
+    DAG: variables are durations [dᵢ] and start times [sᵢ], objective
+    [Σ Wᵢ³/dᵢ²] with [Wᵢ] the effective weight (default: the task
+    weight; pass [2wᵢ] to model an equal-speed re-execution), subject
+    to precedence, deadline and per-task speed bounds [lo/hi]
+    (defaults: none / ∞ — pass the model's [fmin]/[fmax]).
+
+    Returns the optimal speed of each {e effective} task and the
+    energy [Σ Wᵢ·fᵢ²], or [None] when running everything at [hi]
+    already misses the deadline.  Accuracy is that of the barrier
+    method: duality gap ≤ [tol] (default [1e-8]; the TRI-CRIT
+    heuristics probe candidate subsets at a looser tolerance and only
+    polish the winner at full precision). *)
+
+val solve :
+  deadline:float -> fmin:float -> fmax:float -> Mapping.t -> Schedule.t option
+(** BI-CRIT on a mapped DAG: {!solve_general} with uniform bounds,
+    packaged as a single-execution {!Schedule.t}. *)
+
+val energy_lower_bound : deadline:float -> fmin:float -> fmax:float -> Mapping.t -> float
+(** The continuous optimum — a valid lower bound for every model and
+    for TRI-CRIT (re-executions only add energy), used to normalise
+    heuristic results in the experiments.  Falls back to
+    [Σ wᵢ·fmin²] when the instance is deadline-infeasible. *)

@@ -1,0 +1,31 @@
+(** BI-CRIT under the INCREMENTAL model and its approximation guarantee
+    (Section IV of the paper).
+
+    The INCREMENTAL model restricts speeds to the regular grid
+    [fmin + i·δ].  BI-CRIT stays NP-complete (it contains DISCRETE),
+    but the paper shows it is approximable within
+    [(1 + δ/fmin)²·(1 + 1/K)²] in time polynomial in the instance and
+    in [K]: solve the CONTINUOUS relaxation to accuracy [(1 + 1/K)]
+    and round every speed up to the next grid point — rounding
+    multiplies each speed by at most [(1 + δ/fmin)], hence the energy
+    by its square, and keeps the schedule feasible because durations
+    only shrink.
+
+    Our continuous solver is numerically near-exact, so the measured
+    ratio in experiment E4 is compared against the [(1 + δ/fmin)²]
+    factor alone. *)
+
+val approximate :
+  deadline:float -> fmin:float -> fmax:float -> delta:float -> Mapping.t ->
+  Schedule.t option
+(** Continuous solve + grid round-up.  [None] when the continuous
+    relaxation is infeasible (then the INCREMENTAL instance is too). *)
+
+val bound : fmin:float -> delta:float -> k:int option -> float
+(** The paper's ratio: [(1 + δ/fmin)²] times [(1 + 1/K)²] when
+    [k = Some K] (accounting for an approximate continuous solve),
+    without it when [None]. *)
+
+val grid : fmin:float -> fmax:float -> delta:float -> float array
+(** The admissible speed set of the model (exposed for reuse by the
+    DISCRETE solvers in experiments). *)

@@ -1,0 +1,165 @@
+module Problem = Es_lp.Problem
+
+let build_lp ~deadline ~levels mapping =
+  let cdag = Mapping.constraint_dag mapping in
+  let n = Dag.n cdag in
+  let m = Array.length levels in
+  let lp = Problem.create () in
+  (* alpha.(i).(k): time task i spends at speed levels.(k) *)
+  let alpha =
+    Array.init n (fun i ->
+        Array.init m (fun k ->
+            Problem.var lp
+              ~obj:(levels.(k) *. levels.(k) *. levels.(k))
+              (Printf.sprintf "a_%d_%d" i k)))
+  in
+  let start = Array.init n (fun i -> Problem.var lp (Printf.sprintf "s_%d" i)) in
+  let time_expr i = Array.to_list (Array.map (fun v -> (1., v)) alpha.(i)) in
+  (* record which rows carry the deadline on their right-hand side, so
+     their duals sum to dE/dD *)
+  let deadline_rows = ref [] in
+  let row_count = ref 0 in
+  let add_eq expr rhs =
+    Problem.eq lp expr rhs;
+    incr row_count
+  in
+  let add_le ?(is_deadline = false) expr rhs =
+    Problem.le lp expr rhs;
+    if is_deadline then deadline_rows := !row_count :: !deadline_rows;
+    incr row_count
+  in
+  for i = 0 to n - 1 do
+    (* work conservation *)
+    let work = Array.to_list (Array.mapi (fun k v -> (levels.(k), v)) alpha.(i)) in
+    add_eq work (Dag.weight cdag i);
+    (* deadline: s_i + time_i <= D *)
+    add_le ~is_deadline:true ((1., start.(i)) :: time_expr i) deadline
+  done;
+  List.iter
+    (fun (i, j) ->
+      (* s_i + time_i - s_j <= 0 *)
+      add_le (((1., start.(i)) :: time_expr i) @ [ (-1., start.(j)) ]) 0.)
+    (Dag.edges cdag);
+  (lp, alpha, !deadline_rows)
+
+let extract_schedule ~levels mapping alpha solution =
+  let cdag = Mapping.constraint_dag mapping in
+  let n = Dag.n cdag in
+  let executions =
+    Array.init n (fun i ->
+        let total = Es_util.Futil.sum (Array.map (Problem.value solution) alpha.(i)) in
+        let parts = ref [] in
+        Array.iteri
+          (fun k v ->
+            let t = Problem.value solution v in
+            if t > 1e-9 *. Float.max total 1. then
+              parts := { Schedule.speed = levels.(k); time = t } :: !parts)
+          alpha.(i);
+        (* repair rounding: rescale part times so the work is exact *)
+        let parts = List.rev !parts in
+        let work =
+          Es_util.Futil.sum_by (fun (p : Schedule.part) -> p.speed *. p.time) parts
+        in
+        let target = Dag.weight cdag i in
+        let scale = target /. work in
+        [ List.map (fun (p : Schedule.part) -> { p with Schedule.time = p.time *. scale }) parts ])
+  in
+  Schedule.make mapping ~executions
+
+let solve ~deadline ~levels mapping =
+  let lp, alpha, _ = build_lp ~deadline ~levels mapping in
+  match Problem.solve lp with
+  | Problem.Solution s -> Some (extract_schedule ~levels mapping alpha s)
+  | Problem.Infeasible -> None
+  | Problem.Unbounded ->
+    (* energy is bounded below by 0: cannot happen on well-formed input *)
+    assert false
+
+let energy ~deadline ~levels mapping =
+  let lp, _, _ = build_lp ~deadline ~levels mapping in
+  match Problem.solve lp with
+  | Problem.Solution s -> Some (Problem.objective s)
+  | Problem.Infeasible -> None
+  | Problem.Unbounded -> assert false
+
+let energy_with_deadline_price ~deadline ~levels mapping =
+  let lp, _, deadline_rows = build_lp ~deadline ~levels mapping in
+  match Problem.solve lp with
+  | Problem.Solution s ->
+    let duals = Problem.duals s in
+    let price = List.fold_left (fun acc r -> acc +. duals.(r)) 0. deadline_rows in
+    Some (Problem.objective s, price)
+  | Problem.Infeasible -> None
+  | Problem.Unbounded -> assert false
+
+let two_speed_support ~levels sched =
+  let sorted = Array.copy levels in
+  Array.sort compare sorted;
+  let index f =
+    let found = ref (-1) in
+    Array.iteri (fun k g -> if Float.abs (g -. f) <= 1e-9 then found := k) sorted;
+    !found
+  in
+  let dag = Schedule.dag sched in
+  let ok = ref true in
+  for i = 0 to Dag.n dag - 1 do
+    List.iter
+      (fun e ->
+        let speeds =
+          List.sort_uniq compare (List.map (fun (p : Schedule.part) -> p.speed) e)
+        in
+        match speeds with
+        | [] | [ _ ] -> ()
+        | [ f1; f2 ] ->
+          let k1 = index f1 and k2 = index f2 in
+          if k1 < 0 || k2 < 0 || abs (k1 - k2) <> 1 then ok := false
+        | _ -> ok := false)
+      (Schedule.executions sched i)
+  done;
+  !ok
+
+let emulate_continuous ~levels ~speeds mapping =
+  let dag = Mapping.dag mapping in
+  let n = Dag.n dag in
+  assert (Array.length speeds = n);
+  let sorted = Array.copy levels in
+  Array.sort compare sorted;
+  let lo0 = sorted.(0) and hi0 = sorted.(Array.length sorted - 1) in
+  let bracket f =
+    if f < lo0 -. 1e-12 || f > hi0 +. 1e-12 then None
+    else begin
+      let f = Es_util.Futil.clamp ~lo:lo0 ~hi:hi0 f in
+      let below = ref lo0 and above = ref hi0 in
+      Array.iter
+        (fun g ->
+          if g <= f +. 1e-12 && g > !below then below := g;
+          if g >= f -. 1e-12 && g < !above then above := g)
+        sorted;
+      Some (!below, !above)
+    end
+  in
+  let exception Out_of_range in
+  match
+    Array.init n (fun i ->
+        let w = Dag.weight dag i and f = speeds.(i) in
+        match bracket f with
+        | None -> raise Out_of_range
+        | Some (flo, fhi) ->
+          if Float.abs (fhi -. flo) <= 1e-12 then
+            [ [ { Schedule.speed = flo; time = w /. flo } ] ]
+          else begin
+            (* time-matching shares: t_lo + t_hi = w/f and
+               f_lo·t_lo + f_hi·t_hi = w *)
+            let total = w /. f in
+            let t_hi = (w -. (flo *. total)) /. (fhi -. flo) in
+            let t_lo = total -. t_hi in
+            let parts =
+              List.filter
+                (fun (p : Schedule.part) -> p.time > 1e-12 *. total)
+                [ { Schedule.speed = flo; time = t_lo }; { Schedule.speed = fhi; time = t_hi } ]
+            in
+            [ parts ]
+          end)
+  with
+  | executions -> Some (Schedule.make mapping ~executions)
+  | exception Out_of_range -> None

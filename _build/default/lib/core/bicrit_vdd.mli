@@ -1,0 +1,46 @@
+(** BI-CRIT under the VDD-HOPPING model — the polynomial-time case
+    (Section IV of the paper).
+
+    With a finite speed set [f₁ < … < fₘ] and hopping allowed inside a
+    task, the problem "minimise [Σᵢₖ fₖ³·αᵢₖ] subject to work
+    conservation [Σₖ fₖ·αᵢₖ = wᵢ], precedence and the deadline" is a
+    linear program in the per-speed time shares [αᵢₖ] and the start
+    times — which is the paper's proof that BI-CRIT ∈ P for
+    VDD-HOPPING.  We build exactly that LP over the mapping's
+    constraint DAG and solve it with our simplex.
+
+    The classical structural result (R4) also holds here: some optimal
+    solution uses at most two, consecutive, speeds per task —
+    geometrically, the optimal energy/time trade-off lives on the lower
+    convex hull of the points [(1/fₖ, fₖ²)]. *)
+
+val solve : deadline:float -> levels:float array -> Mapping.t -> Schedule.t option
+(** Solve the LP; [None] when even all-[fmax] misses the deadline
+    (the LP is then infeasible).  Parts with negligible time share
+    (< 1e-9 relative to the task duration) are dropped from the
+    returned schedule. *)
+
+val two_speed_support : levels:float array -> Schedule.t -> bool
+(** Whether every task uses at most two distinct speeds, and those two
+    are consecutive levels of [levels] — the property R4 asserts of an
+    optimal basic solution. *)
+
+val energy : deadline:float -> levels:float array -> Mapping.t -> float option
+(** Optimal objective value without materialising the schedule. *)
+
+val energy_with_deadline_price :
+  deadline:float -> levels:float array -> Mapping.t -> (float * float) option
+(** [(E*, dE*/dD)]: the optimum together with the sum of the dual
+    multipliers of the deadline rows — the marginal energy a tighter
+    deadline would cost, i.e. the slope of the Pareto front at [D]
+    (non-positive; experiment E17 cross-checks it against finite
+    differences). *)
+
+val emulate_continuous :
+  levels:float array -> speeds:float array -> Mapping.t -> Schedule.t option
+(** The paper's bridge from CONTINUOUS results to VDD-HOPPING
+    (Section IV, last paragraph): replace each continuous speed [f] by
+    a mix of the two bracketing levels that preserves the execution
+    time ([time-matching]: shares solve [α·f₋ + β·f₊ = w],
+    [α + β = w/f]).  [None] if some speed falls outside the level
+    range. *)

@@ -1,0 +1,22 @@
+let relaxation ~rel ~deadline mapping =
+  Bicrit_continuous.energy_lower_bound ~deadline ~fmin:rel.Rel.fmin ~fmax:rel.Rel.fmax
+    mapping
+
+let per_task ~rel mapping =
+  let dag = Mapping.dag mapping in
+  let task_bound i =
+    let w = Dag.weight dag i in
+    let single =
+      let f = Float.max rel.Rel.fmin rel.Rel.frel in
+      w *. f *. f
+    in
+    match Rel.min_reexec_speed rel ~w with
+    | None -> single
+    | Some flo ->
+      let f = Float.max rel.Rel.fmin flo in
+      Float.min single (2. *. w *. f *. f)
+  in
+  Es_util.Futil.sum (Array.init (Dag.n dag) task_bound)
+
+let tricrit ~rel ~deadline mapping =
+  Float.max (relaxation ~rel ~deadline mapping) (per_task ~rel mapping)

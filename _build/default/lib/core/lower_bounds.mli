@@ -1,0 +1,22 @@
+(** Energy lower bounds used to normalise heuristic results.
+
+    Experiment E8 reports heuristic energies as ratios to a bound that
+    no feasible TRI-CRIT schedule can beat, so that numbers are
+    comparable across instances.  Two complementary bounds are
+    combined:
+
+    - the {e relaxation bound}: the CONTINUOUS BI-CRIT optimum with the
+      same deadline and no reliability constraint — dropping
+      constraints and re-executions only lowers energy;
+    - the {e per-task reliability bound}: with unlimited time, task [i]
+      pays at least [min(wᵢ·f_rel², 2wᵢ·f_loᵢ²)] — the cheapest
+      reliability-respecting single or double execution. *)
+
+val relaxation : rel:Rel.params -> deadline:float -> Mapping.t -> float
+(** CONTINUOUS BI-CRIT optimum over [\[fmin, fmax\]]. *)
+
+val per_task : rel:Rel.params -> Mapping.t -> float
+(** [Σᵢ min(wᵢ·max(fmin,f_rel)², 2wᵢ·max(fmin,f_loᵢ)²)]. *)
+
+val tricrit : rel:Rel.params -> deadline:float -> Mapping.t -> float
+(** [max(relaxation, per_task)]. *)

@@ -1,0 +1,32 @@
+type point = { deadline : float; energy : float; n_reexecuted : int }
+
+let bicrit_front ~fmin ~fmax ~deadlines mapping =
+  let n = Dag.n (Mapping.dag mapping) in
+  let lo = Array.make n fmin and hi = Array.make n fmax in
+  List.filter_map
+    (fun deadline ->
+      match Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping with
+      | None -> None
+      | Some { energy; _ } -> Some { deadline; energy; n_reexecuted = 0 })
+    deadlines
+
+let tricrit_front ~rel ~deadlines mapping =
+  List.filter_map
+    (fun deadline ->
+      match Heuristics.best_of ~rel ~deadline mapping with
+      | None -> None
+      | Some (sol, _) ->
+        let n_reexecuted =
+          Array.fold_left (fun a b -> if b then a + 1 else a) 0 sol.Heuristics.reexecuted
+        in
+        Some { deadline; energy = sol.Heuristics.energy; n_reexecuted })
+    deadlines
+
+let dominates a b =
+  a.deadline <= b.deadline && a.energy <= b.energy
+  && (a.deadline < b.deadline || a.energy < b.energy)
+
+let is_front points =
+  List.for_all
+    (fun p -> not (List.exists (fun q -> q != p && dominates q p) points))
+    points

@@ -1,0 +1,31 @@
+(** Energy/deadline trade-off exploration.
+
+    BI-CRIT and TRI-CRIT are constrained formulations of an underlying
+    multi-objective problem; sweeping the deadline exposes the Pareto
+    front the paper's introduction alludes to ("faster speeds allow for
+    a faster execution, but ... much higher power consumption").  Used
+    by the examples and by EXPERIMENTS.md narrative figures. *)
+
+type point = {
+  deadline : float;
+  energy : float;
+  n_reexecuted : int;  (** 0 for BI-CRIT sweeps *)
+}
+
+val bicrit_front :
+  fmin:float -> fmax:float -> deadlines:float list -> Mapping.t -> point list
+(** CONTINUOUS BI-CRIT optimum per deadline; infeasible deadlines are
+    skipped. *)
+
+val tricrit_front :
+  rel:Rel.params -> deadlines:float list -> Mapping.t -> point list
+(** Best-of-two-heuristics TRI-CRIT energy per deadline. *)
+
+val dominates : point -> point -> bool
+(** [dominates a b] when [a] is no worse on both axes and better on
+    one. *)
+
+val is_front : point list -> bool
+(** Checks mutual non-domination — the monotonicity test used by the
+    property suite (energy must not increase when the deadline
+    loosens). *)

@@ -1,0 +1,43 @@
+let energy ~static ~w ~f = w *. ((f *. f) +. (static /. f))
+let critical_speed ~static = Es_util.Futil.cbrt (static /. 2.)
+
+let always_on_energy ~static ~p ~deadline ~dynamic =
+  dynamic +. (float_of_int p *. static *. deadline)
+
+type result = { speeds : float array; energy : float }
+
+let common_speed_result ~static ~weights f =
+  let speeds = Array.map (fun _ -> f) weights in
+  let e = Es_util.Futil.sum (Array.map (fun w -> energy ~static ~w ~f) weights) in
+  { speeds; energy = e }
+
+let chain_aware ~static ~weights ~deadline ~fmin ~fmax =
+  let total = Es_util.Futil.sum weights in
+  let f_deadline = total /. deadline in
+  if f_deadline > fmax *. (1. +. 1e-12) then None
+  else begin
+    let f =
+      Es_util.Futil.clamp ~lo:fmin ~hi:fmax
+        (Float.max f_deadline (critical_speed ~static))
+    in
+    Some (common_speed_result ~static ~weights f)
+  end
+
+let chain_naive ~static ~weights ~deadline ~fmin ~fmax =
+  let total = Es_util.Futil.sum weights in
+  let f_deadline = total /. deadline in
+  if f_deadline > fmax *. (1. +. 1e-12) then None
+  else begin
+    (* dynamic-only optimiser: slow down as far as the deadline (and
+       fmin) allow, blind to leakage *)
+    let f = Es_util.Futil.clamp ~lo:fmin ~hi:fmax f_deadline in
+    Some (common_speed_result ~static ~weights f)
+  end
+
+let ablation_penalty ~static ~weights ~deadline ~fmin ~fmax =
+  match
+    ( chain_naive ~static ~weights ~deadline ~fmin ~fmax,
+      chain_aware ~static ~weights ~deadline ~fmin ~fmax )
+  with
+  | Some naive, Some aware -> Some (naive.energy /. aware.energy)
+  | _ -> None

@@ -1,0 +1,53 @@
+(** Static-power ablation.
+
+    The paper's energy model is purely dynamic ([P = f³]), justified in
+    Section II: "we do not take static energy into account, because all
+    processors are up and alive during the whole execution" — with
+    always-on processors the static term is the constant [p·σ·D] and
+    cannot change the optimiser's decisions.  This module makes that
+    design choice testable (ablation bench E15) by implementing the
+    alternative: processors that can idle at zero power once their work
+    is done ("race to idle"), where running a task at speed [f] costs
+
+    {v E(w, f) = (f³ + σ)·(w/f) = w·(f² + σ/f) v}
+
+    for leakage power [σ].  That function is no longer monotone in [f]:
+    it is minimised at the {e critical speed} [f_crit = (σ/2)^{1/3}],
+    below which slowing down {e wastes} energy.  The ablation measures
+    how wrong the paper-model optimum becomes as σ grows. *)
+
+val energy : static:float -> w:float -> f:float -> float
+(** [w·(f² + σ/f)]. *)
+
+val critical_speed : static:float -> float
+(** [(σ/2)^{1/3}] — the unconstrained minimiser of [f² + σ/f]. *)
+
+val always_on_energy : static:float -> p:int -> deadline:float -> dynamic:float -> float
+(** The paper's regime: [dynamic + p·σ·D].  The static part is
+    schedule-independent — the formal content of the paper's
+    justification. *)
+
+type result = { speeds : float array; energy : float }
+
+val chain_aware :
+  static:float -> weights:float array -> deadline:float -> fmin:float -> fmax:float ->
+  result option
+(** Race-to-idle optimum for a single-processor chain: common speed
+    [max(Σw/D, f_crit)] clamped into [\[fmin, fmax\]] (the objective is
+    convex and symmetric across tasks, so the equal-speed argument of
+    the dynamic model still applies).  [None] if [fmax] misses the
+    deadline. *)
+
+val chain_naive :
+  static:float -> weights:float array -> deadline:float -> fmin:float -> fmax:float ->
+  result option
+(** The paper-model speeds (ignore σ when optimising: run at
+    [max(Σw/D, fmin)]) re-costed under the race-to-idle energy — what a
+    dynamic-only optimiser actually pays when leakage exists. *)
+
+val ablation_penalty :
+  static:float -> weights:float array -> deadline:float -> fmin:float -> fmax:float ->
+  float option
+(** [energy(naive)/energy(aware)] — 1.0 when the paper's assumption is
+    harmless, growing once the deadline slack pushes the dynamic-only
+    optimum below the critical speed. *)

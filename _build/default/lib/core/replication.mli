@@ -1,0 +1,55 @@
+(** Replication as an alternative to re-execution (Section V).
+
+    The paper's future-work section proposes combining {e replication}
+    (run the task simultaneously on a second processor; same energy
+    doubling and the same [ε²] reliability gain as re-execution, but
+    {e no} extra time on the critical path) with re-execution, and asks
+    for the best trade-off.  This module studies the cleanest setting
+    exhibiting the trade-off — a linear chain on one processor with one
+    idle mirror processor — which experiment E12 sweeps.
+
+    Per task the three options are:
+
+    - [Single]:     time [w/f],  energy [w·f²],  needs [f ≥ f_rel];
+    - [Reexecute]:  time [2w/f], energy [2w·f²], needs [f ≥ f_lo];
+    - [Replicate]:  time [w/f],  energy [2w·f²], needs [f ≥ f_lo]
+      (the replica occupies the mirror exactly while the primary runs,
+      so chain tasks never contend for it).
+
+    Given the per-task choices, optimal speeds again come from a
+    waterfilling, now with option-dependent time/energy coefficients:
+    the KKT condition gives [fᵢ = κᵢ·f_c] with [κᵢ = (Tᵢ/Eᵢ)^{1/3}] —
+    replicated tasks run a factor [2^{-1/3}] slower than the common
+    level, which is where their extra energy is clawed back. *)
+
+type kind = Single | Reexecute | Replicate
+
+type solution = {
+  kinds : kind array;
+  speeds : float array;
+  energy : float;
+  time : float;  (** worst-case chain time (= mirror-feasible) *)
+}
+
+val evaluate :
+  rel:Rel.params -> deadline:float -> weights:float array -> kinds:kind array ->
+  solution option
+(** Optimal speeds for fixed per-task choices via the generalised
+    waterfilling; [None] when infeasible. *)
+
+val solve_exact :
+  ?max_n:int -> rel:Rel.params -> deadline:float -> weights:float array ->
+  solution option
+(** Enumerate all [3ⁿ] option vectors (guard [max_n], default 12). *)
+
+val solve_greedy :
+  rel:Rel.params -> deadline:float -> weights:float array -> solution option
+(** Local search over per-task option toggles, mirroring
+    {!Tricrit_chain.solve_greedy}. *)
+
+val reexec_only :
+  rel:Rel.params -> deadline:float -> weights:float array -> solution option
+(** Best solution with [Replicate] forbidden — the comparison baseline
+    showing what the mirror processor buys. *)
+
+val kind_name : kind -> string

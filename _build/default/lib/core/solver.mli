@@ -1,0 +1,42 @@
+(** One-call facade over the whole library.
+
+    Downstream users mostly want "here is my mapped DAG, my speed
+    model, my deadline — give me the best schedule you can".  This
+    module dispatches to the right engine per speed model and
+    reliability requirement, always returning a schedule the
+    {!Validate} checker accepts:
+
+    {v
+    model        BI-CRIT                       TRI-CRIT
+    ───────────  ────────────────────────────  ─────────────────────────────
+    CONTINUOUS   convex solve (exact)          best-of heuristics (A/B)
+    VDD-HOPPING  LP (exact)                    continuous bridge + LP
+    DISCRETE     B&B if small, else round-up   (not in the paper — rejected)
+    INCREMENTAL  round-up approximation        (not in the paper — rejected)
+    v}
+
+    The exact/heuristic choice per cell mirrors the paper's complexity
+    results: polynomial cells get exact algorithms, NP-complete cells
+    get the approximation/heuristic the paper proposes (with exact
+    search when the instance is small enough). *)
+
+type request = {
+  mapping : Mapping.t;
+  model : Speed.t;
+  deadline : float;
+  rel : Rel.params option;  (** [Some _] switches to TRI-CRIT *)
+}
+
+type answer = {
+  schedule : Schedule.t;
+  energy : float;
+  exact : bool;  (** whether the engine used is provably optimal *)
+  engine : string;  (** human-readable engine name, for reports *)
+}
+
+val solve : ?exact_threshold:int -> request -> (answer, string) result
+(** [exact_threshold] (default 14) bounds the instance size for which
+    the exponential exact engines are used in NP-complete cells.
+    Errors are human-readable: infeasible deadline, unsupported
+    model/reliability combination, or inconsistent parameters (e.g.
+    [rel] bounds disagreeing with the model's). *)

@@ -1,0 +1,38 @@
+(** TRI-CRIT on a fork graph — the polynomial case (Section III).
+
+    For a fork (source [T₀], children [T₁ … Tₙ] on their own
+    processors) the paper gives a polynomial-time algorithm based on an
+    observation opposite to the chain strategy: {e highly
+    parallelizable tasks should be preferred when allocating time slots
+    for re-execution or deceleration}.  Structurally, once the time
+    window is split between the source ([\[0, t₀\]]) and the children
+    ([\[t₀, D\]]), every child decides {e independently} whether to
+    re-execute — children only interact through [t₀].  The algorithm
+    is therefore a one-dimensional search over [t₀] with an O(1)
+    optimal decision per task inside a given window. *)
+
+type decision = {
+  reexec : bool;
+  speed : float;  (** common speed of the one or two executions *)
+  energy : float;
+}
+
+val best_in_window : rel:Rel.params -> w:float -> window:float -> decision option
+(** Cheapest feasible way to run a task of weight [w] inside a time
+    window: once at [max(f_rel, w/window)] or twice at
+    [max(f_lo, 2w/window)], whichever is cheaper; [None] when neither
+    fits below [fmax].  This is the per-child oracle. *)
+
+type solution = {
+  schedule : Schedule.t;
+  energy : float;
+  reexecuted : bool array;
+  source_window : float;  (** the optimised [t₀] *)
+}
+
+val solve : ?grid:int -> rel:Rel.params -> deadline:float -> Dag.t -> solution option
+(** The fork algorithm.  The DAG must be a fork with task 0 as the
+    source (as produced by {!Generators.fork}); the mapping used is one
+    task per processor.  [grid] (default 512) is the resolution of the
+    coarse scan over [t₀], refined by golden-section search around the
+    best cell.  @raise Invalid_argument if the DAG is not a fork. *)

@@ -1,0 +1,77 @@
+type solution = Heuristics.solution
+
+(* Window allocation by equivalent weight over [windows] (a tree of the
+   same shape, possibly with inflated weights) with the fork oracle
+   deciding each *original* leaf inside its window. *)
+let decide_with_windows ~rel ~deadline sp windows =
+  let decisions = ref [] in
+  let rec alloc node wnode window =
+    match (node, wnode) with
+    | Sp.Leaf w, Sp.Leaf _ ->
+      let reexec =
+        match Tricrit_fork.best_in_window ~rel ~w ~window with
+        | Some d -> d.Tricrit_fork.reexec
+        | None -> false
+      in
+      decisions := reexec :: !decisions
+    | Sp.Series (a, b), Sp.Series (wa_t, wb_t) ->
+      let wa = Bicrit_continuous.sp_equivalent_weight wa_t in
+      let wb = Bicrit_continuous.sp_equivalent_weight wb_t in
+      let ta = window *. wa /. (wa +. wb) in
+      alloc a wa_t ta;
+      alloc b wb_t (window -. ta)
+    | Sp.Parallel (a, b), Sp.Parallel (wa_t, wb_t) ->
+      alloc a wa_t window;
+      alloc b wb_t window
+    | _ -> invalid_arg "Tricrit_sp: window tree shape mismatch"
+  in
+  alloc sp windows deadline;
+  Array.of_list (List.rev !decisions)
+
+let decide_subset ~rel ~deadline sp = decide_with_windows ~rel ~deadline sp sp
+
+(* Rebuild the SP tree with effective leaf weights (2w for re-executed
+   leaves), to re-run the window allocation against the time the first
+   pass actually committed to. *)
+let effective_tree sp subset =
+  let idx = ref 0 in
+  let rec rebuild = function
+    | Sp.Leaf w ->
+      let i = !idx in
+      incr idx;
+      Sp.Leaf (if subset.(i) then 2. *. w else w)
+    | Sp.Series (a, b) ->
+      let a' = rebuild a in
+      let b' = rebuild b in
+      Sp.Series (a', b')
+    | Sp.Parallel (a, b) ->
+      let a' = rebuild a in
+      let b' = rebuild b in
+      Sp.Parallel (a', b')
+  in
+  rebuild sp
+
+let solve ~rel ~deadline sp =
+  let dag = Sp.to_dag sp in
+  let mapping = Mapping.one_task_per_proc dag in
+  let pass1 = decide_subset ~rel ~deadline sp in
+  (* second pass: windows computed against the doubled workloads the
+     first pass committed to; decisions may both grow (more slack found
+     on light branches) or shrink (overcommitted branches) *)
+  let pass2 =
+    (* windows against the doubled workloads of pass 1, decisions still
+       about the original tasks *)
+    decide_with_windows ~rel ~deadline sp (effective_tree sp pass1)
+  in
+  let better a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some (sa : solution), Some sb -> if sb.energy < sa.energy then Some sb else Some sa
+  in
+  let eval subset = Heuristics.evaluate_subset ~rel ~deadline mapping ~subset in
+  let best = better (eval pass1) (better (eval pass2) None) in
+  match best with
+  | Some sol -> Some sol
+  | None ->
+    (* the window proxy over-committed: retreat to no re-execution *)
+    Heuristics.baseline ~rel ~deadline mapping

@@ -1,0 +1,34 @@
+(** TRI-CRIT on series-parallel graphs: a structure-aware heuristic.
+
+    The paper's future work asks for algorithms "only for special graph
+    structures, e.g. series-parallel graphs" (Section V).  This module
+    provides the natural generalisation of the fork algorithm to SP
+    trees, combining the two proven building blocks:
+
+    - the BI-CRIT equivalent-weight recursion
+      ({!Bicrit_continuous.sp_equivalent_weight}) allocates the
+      deadline window down the tree — series nodes split time
+      proportionally to equivalent weight, parallel branches share it;
+    - inside its window every leaf decides single vs. re-execution
+      independently with the fork oracle
+      ({!Tricrit_fork.best_in_window}).
+
+    A final global convex solve ({!Heuristics.evaluate_subset}) then
+    re-optimises all speeds for the selected subset, which both repairs
+    the window approximation (window splits ignore that re-executed
+    leaves double their work) and guarantees feasibility.  Experiment
+    E18 compares this family "C" against families A/B and the exact
+    optimum on SP instances. *)
+
+type solution = Heuristics.solution
+
+val decide_subset : rel:Rel.params -> deadline:float -> Sp.t -> bool array
+(** The window-allocation pass: re-execution decisions per leaf, in
+    {!Sp.to_dag} leaf order.  Leaves whose window admits no feasible
+    execution at all are marked [false] (the polish step will speed
+    them up). *)
+
+val solve : rel:Rel.params -> deadline:float -> Sp.t -> solution option
+(** Decisions + global polish on the one-task-per-processor mapping of
+    [Sp.to_dag].  Falls back to the empty subset if the decided subset
+    does not fit. *)

@@ -1,0 +1,85 @@
+let sorted_levels levels =
+  let l = Array.copy levels in
+  Array.sort compare l;
+  l
+
+(* Hull points ordered by increasing u = 1/f: fastest level first. *)
+let points levels =
+  let l = sorted_levels levels in
+  let m = Array.length l in
+  Array.init m (fun i ->
+      let f = l.(m - 1 - i) in
+      (1. /. f, f *. f))
+
+let bracket_for_time ~levels u =
+  let pts = points levels in
+  let m = Array.length pts in
+  let u_min = fst pts.(0) and u_max = fst pts.(m - 1) in
+  if u < u_min -. 1e-12 then None
+  else if u >= u_max then begin
+    (* slower than the slowest level: pad with idle time, run at fmin *)
+    let f = sqrt (snd pts.(m - 1)) in
+    Some (f, f)
+  end
+  else begin
+    let k = ref 0 in
+    while fst pts.(!k + 1) < u do
+      incr k
+    done;
+    let f_hi = sqrt (snd pts.(!k)) and f_lo = sqrt (snd pts.(!k + 1)) in
+    Some (f_lo, f_hi)
+  end
+
+let energy_per_work ~levels u =
+  let pts = points levels in
+  let m = Array.length pts in
+  let u_min = fst pts.(0) and u_max = fst pts.(m - 1) in
+  if u < u_min -. 1e-12 then infinity
+  else if u >= u_max then snd pts.(m - 1)
+  else begin
+    let k = ref 0 in
+    while fst pts.(!k + 1) < u do
+      incr k
+    done;
+    let u0, e0 = pts.(!k) and u1, e1 = pts.(!k + 1) in
+    if u1 -. u0 <= 1e-15 then e0
+    else e0 +. ((e1 -. e0) *. (u -. u0) /. (u1 -. u0))
+  end
+
+let chain_energy ~levels ~total_weight ~deadline =
+  let u = deadline /. total_weight in
+  let g = energy_per_work ~levels u in
+  if Float.is_finite g then Some (total_weight *. g) else None
+
+let chain_schedule ~levels ~deadline mapping =
+  if Mapping.p mapping <> 1 then
+    invalid_arg "Vdd_hull.chain_schedule: single-processor mapping required";
+  let dag = Mapping.dag mapping in
+  let total_weight = Dag.total_weight dag in
+  let u = deadline /. total_weight in
+  match bracket_for_time ~levels u with
+  | None -> None
+  | Some (f_lo, f_hi) ->
+    let executions =
+      Array.init (Dag.n dag) (fun i ->
+          let w = Dag.weight dag i in
+          if Float.abs (f_hi -. f_lo) <= 1e-12 then
+            [ [ { Schedule.speed = f_lo; time = w /. f_lo } ] ]
+          else begin
+            (* time-matching shares at inverse speed u, capped at the
+               slow end: t_lo + t_hi = w·u', f_lo·t_lo + f_hi·t_hi = w *)
+            let u' = Float.min u (1. /. f_lo) in
+            let total = w *. u' in
+            let t_hi = (w -. (f_lo *. total)) /. (f_hi -. f_lo) in
+            let t_lo = total -. t_hi in
+            [
+              List.filter
+                (fun (p : Schedule.part) -> p.time > 1e-12 *. total)
+                [
+                  { Schedule.speed = f_lo; time = t_lo };
+                  { Schedule.speed = f_hi; time = t_hi };
+                ];
+            ]
+          end)
+    in
+    Some (Schedule.make mapping ~executions)

@@ -1,0 +1,43 @@
+(** The convex-hull view of VDD-HOPPING — why two speeds suffice, and a
+    closed form for chains.
+
+    Executing one unit of work with inverse speed [u = 1/f] costs [u⁻²]
+    energy; the admissible operating points of a VDD-HOPPING processor
+    are the level points [(1/fₖ, fₖ²)] and, by time-sharing, their
+    convex combinations.  Because [u ↦ u⁻²] is strictly convex, every
+    level point is a vertex of the lower hull, so the reachable
+    energy-per-work function [g(u)] is the piecewise-linear
+    interpolation between {e consecutive} levels — which is exactly the
+    paper's statement (Section IV) that an optimal execution mixes at
+    most two consecutive speeds.
+
+    The hull also yields a closed form on chains: minimising
+    [Σ wᵢ·g(uᵢ)] under [Σ wᵢ·uᵢ = D] with convex [g] has, by Jensen's
+    inequality, the uniform optimum [uᵢ = D/W], so
+
+    {v E_chain = W · g(D / W),   W = Σ wᵢ v}
+
+    This module computes [g], the closed form, and the corresponding
+    two-speed schedule, all cross-validated against the LP solver in
+    the test suite. *)
+
+val energy_per_work : levels:float array -> float -> float
+(** [energy_per_work ~levels u] is [g(u)]: the cheapest energy to
+    process one unit of work in time [u] per unit.  Outside
+    [\[1/fmax, 1/fmin\]] the value is [infinity] (too fast) or the
+    [fmin] point's cost (slower brings no gain — the processor can
+    finish early). *)
+
+val bracket_for_time : levels:float array -> float -> (float * float) option
+(** The two consecutive levels whose mix realises inverse speed [u];
+    [None] when [u < 1/fmax]. *)
+
+val chain_energy : levels:float array -> total_weight:float -> deadline:float -> float option
+(** The closed form [W·g(D/W)]; [None] when even [fmax] misses the
+    deadline. *)
+
+val chain_schedule :
+  levels:float array -> deadline:float -> Mapping.t -> Schedule.t option
+(** Materialise the closed form on a single-processor chain mapping:
+    every task runs the same two-speed mix.  @raise Invalid_argument if
+    the mapping uses more than one processor. *)

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Es_util Float Format Fun Hashtbl Int List Printf Set String

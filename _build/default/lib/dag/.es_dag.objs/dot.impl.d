@@ -1,0 +1,1 @@
+lib/dag/dot.ml: Buffer Dag Fun List Printf

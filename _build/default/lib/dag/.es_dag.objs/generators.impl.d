@@ -1,0 +1,1 @@
+lib/dag/generators.ml: Array Dag Es_util Fun Hashtbl List Sp

@@ -1,0 +1,1 @@
+lib/dag/generators.mli: Dag Es_util Sp

@@ -1,0 +1,1 @@
+lib/dag/sp.ml: Array Dag Format Fun Hashtbl Int List Set

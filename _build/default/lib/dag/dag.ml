@@ -1,0 +1,175 @@
+type task = int
+
+type t = {
+  n : int;
+  weights : float array;
+  labels : string array;
+  succs : task list array; (* ascending *)
+  preds : task list array; (* ascending *)
+}
+
+let n t = t.n
+let weight t i = t.weights.(i)
+let weights t = Array.copy t.weights
+let label t i = t.labels.(i)
+let succs t i = t.succs.(i)
+let preds t i = t.preds.(i)
+
+let edges t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    List.iter (fun j -> acc := (i, j) :: !acc) t.succs.(i)
+  done;
+  !acc
+
+let n_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succs
+
+let sources t =
+  List.filter (fun i -> t.preds.(i) = []) (List.init t.n Fun.id)
+
+let sinks t = List.filter (fun i -> t.succs.(i) = []) (List.init t.n Fun.id)
+
+let topological_order t =
+  let indeg = Array.map List.length t.preds in
+  let module Q = Set.Make (Int) in
+  let ready = ref Q.empty in
+  Array.iteri (fun i d -> if d = 0 then ready := Q.add i !ready) indeg;
+  let order = Array.make t.n 0 in
+  let k = ref 0 in
+  while not (Q.is_empty !ready) do
+    let i = Q.min_elt !ready in
+    ready := Q.remove i !ready;
+    order.(!k) <- i;
+    incr k;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then ready := Q.add j !ready)
+      t.succs.(i)
+  done;
+  if !k <> t.n then invalid_arg "Dag: cycle detected";
+  order
+
+let make ?labels ~weights ~edges =
+  let n = Array.length weights in
+  Array.iteri
+    (fun i w -> if w <= 0. then invalid_arg (Printf.sprintf "Dag.make: weight %d not positive" i))
+    weights;
+  let labels =
+    match labels with
+    | Some l ->
+      if Array.length l <> n then invalid_arg "Dag.make: labels length mismatch";
+      Array.copy l
+    | None -> Array.init n (Printf.sprintf "T%d")
+  in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Dag.make: edge out of range";
+      if i = j then invalid_arg "Dag.make: self loop";
+      if not (Hashtbl.mem seen (i, j)) then begin
+        Hashtbl.add seen (i, j) ();
+        succs.(i) <- j :: succs.(i);
+        preds.(j) <- i :: preds.(j)
+      end)
+    edges;
+  Array.iteri (fun i l -> succs.(i) <- List.sort compare l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.sort compare l) preds;
+  let t = { n; weights = Array.copy weights; labels; succs; preds } in
+  ignore (topological_order t);
+  t
+
+let total_weight t = Es_util.Futil.sum t.weights
+let is_edge t i j = List.mem j t.succs.(i)
+
+let map_weights t f =
+  { t with weights = Array.mapi (fun i w -> f i w) t.weights }
+
+let earliest_start t ~durations =
+  assert (Array.length durations = t.n);
+  let order = topological_order t in
+  let es = Array.make t.n 0. in
+  Array.iter
+    (fun i ->
+      let start =
+        List.fold_left (fun acc p -> Float.max acc (es.(p) +. durations.(p))) 0. t.preds.(i)
+      in
+      es.(i) <- start)
+    order;
+  es
+
+let critical_path_length t ~durations =
+  let es = earliest_start t ~durations in
+  let finish = ref 0. in
+  for i = 0 to t.n - 1 do
+    finish := Float.max !finish (es.(i) +. durations.(i))
+  done;
+  !finish
+
+let latest_start t ~durations ~deadline =
+  assert (Array.length durations = t.n);
+  let order = topological_order t in
+  let ls = Array.make t.n 0. in
+  for k = t.n - 1 downto 0 do
+    let i = order.(k) in
+    let latest_finish =
+      List.fold_left (fun acc s -> Float.min acc ls.(s)) deadline t.succs.(i)
+    in
+    ls.(i) <- latest_finish -. durations.(i)
+  done;
+  ls
+
+let slack t ~durations ~deadline =
+  let es = earliest_start t ~durations in
+  let ls = latest_start t ~durations ~deadline in
+  Array.init t.n (fun i -> ls.(i) -. es.(i))
+
+let descendants t i =
+  let seen = Array.make t.n false in
+  let rec visit j =
+    List.iter
+      (fun s ->
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          visit s
+        end)
+      t.succs.(j)
+  in
+  visit i;
+  List.filter (fun j -> seen.(j)) (List.init t.n Fun.id)
+
+let ancestors t i =
+  let seen = Array.make t.n false in
+  let rec visit j =
+    List.iter
+      (fun p ->
+        if not seen.(p) then begin
+          seen.(p) <- true;
+          visit p
+        end)
+      t.preds.(j)
+  in
+  visit i;
+  List.filter (fun j -> seen.(j)) (List.init t.n Fun.id)
+
+let transitive_reduction t =
+  (* Edge (i, j) is redundant iff j is reachable from some other
+     successor of i. *)
+  let keep (i, j) =
+    not
+      (List.exists (fun s -> s <> j && List.mem j (descendants t s)) t.succs.(i))
+  in
+  let edges = List.filter keep (edges t) in
+  make ~labels:t.labels ~weights:t.weights ~edges
+
+let reverse t =
+  let edges = List.map (fun (i, j) -> (j, i)) (edges t) in
+  make ~labels:t.labels ~weights:t.weights ~edges
+
+let pp ppf t =
+  for i = 0 to t.n - 1 do
+    Format.fprintf ppf "%s (w=%g) -> %s@."
+      t.labels.(i) t.weights.(i)
+      (String.concat ", " (List.map (fun j -> t.labels.(j)) t.succs.(i)))
+  done

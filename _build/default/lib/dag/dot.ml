@@ -1,0 +1,20 @@
+let of_dag ?(name = "dag") dag =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=ellipse];\n";
+  for i = 0 to Dag.n dag - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  t%d [label=\"%s\\nw=%g\"];\n" i (Dag.label dag i)
+         (Dag.weight dag i))
+  done;
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  t%d -> t%d;\n" i j))
+    (Dag.edges dag);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name dag ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_dag ?name dag))

@@ -1,0 +1,7 @@
+(** Graphviz export of task graphs, for documentation and debugging. *)
+
+val of_dag : ?name:string -> Dag.t -> string
+(** DOT source for the DAG; node labels show task name and weight. *)
+
+val to_file : ?name:string -> Dag.t -> path:string -> unit
+(** Write {!of_dag} output to [path]. *)

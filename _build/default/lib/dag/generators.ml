@@ -1,0 +1,236 @@
+module Rng = Es_util.Rng
+
+type r = Rng.t
+
+let chain rng ~n ~wlo ~whi =
+  assert (n >= 1);
+  let weights = Rng.sample_weights rng ~n ~lo:wlo ~hi:whi in
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  Dag.make ?labels:None ~weights ~edges
+
+let fork rng ~n ~wlo ~whi =
+  assert (n >= 1);
+  let weights = Rng.sample_weights rng ~n:(n + 1) ~lo:wlo ~hi:whi in
+  let edges = List.init n (fun i -> (0, i + 1)) in
+  Dag.make ?labels:None ~weights ~edges
+
+let join rng ~n ~wlo ~whi =
+  assert (n >= 1);
+  let weights = Rng.sample_weights rng ~n:(n + 1) ~lo:wlo ~hi:whi in
+  let edges = List.init n (fun i -> (i, n)) in
+  Dag.make ?labels:None ~weights ~edges
+
+let fork_join rng ~n ~wlo ~whi =
+  assert (n >= 1);
+  let weights = Rng.sample_weights rng ~n:(n + 2) ~lo:wlo ~hi:whi in
+  let edges =
+    List.init n (fun i -> (0, i + 1)) @ List.init n (fun i -> (i + 1, n + 1))
+  in
+  Dag.make ?labels:None ~weights ~edges
+
+let random_sp rng ~n ~wlo ~whi =
+  assert (n >= 1);
+  let rec build n =
+    if n = 1 then Sp.leaf (Rng.uniform_in rng wlo whi)
+    else begin
+      let left = 1 + Rng.int rng (n - 1) in
+      let a = build left and b = build (n - left) in
+      if Rng.bool rng then Sp.Series (a, b) else Sp.Parallel (a, b)
+    end
+  in
+  build n
+
+let random_layered rng ~layers ~width ~density ~wlo ~whi =
+  assert (layers >= 1 && width >= 1);
+  let sizes = Array.init layers (fun _ -> 1 + Rng.int rng width) in
+  let offsets = Array.make layers 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun l s ->
+      offsets.(l) <- !total;
+      total := !total + s)
+    sizes;
+  let weights = Rng.sample_weights rng ~n:!total ~lo:wlo ~hi:whi in
+  let edges = ref [] in
+  for l = 0 to layers - 2 do
+    for a = 0 to sizes.(l) - 1 do
+      for b = 0 to sizes.(l + 1) - 1 do
+        if Rng.bernoulli rng density then
+          edges := (offsets.(l) + a, offsets.(l + 1) + b) :: !edges
+      done
+    done;
+    (* guarantee every task of layer l+1 has a predecessor *)
+    for b = 0 to sizes.(l + 1) - 1 do
+      let dst = offsets.(l + 1) + b in
+      if not (List.exists (fun (_, j) -> j = dst) !edges) then begin
+        let a = Rng.int rng sizes.(l) in
+        edges := (offsets.(l) + a, dst) :: !edges
+      end
+    done
+  done;
+  Dag.make ?labels:None ~weights ~edges:!edges
+
+let random_dag rng ~n ~p ~wlo ~whi =
+  let weights = Rng.sample_weights rng ~n ~lo:wlo ~hi:whi in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := (i, j) :: !edges
+    done
+  done;
+  Dag.make ?labels:None ~weights ~edges:!edges
+
+let out_tree rng ~n ~max_children ~wlo ~whi =
+  assert (n >= 1 && max_children >= 1);
+  let weights = Rng.sample_weights rng ~n ~lo:wlo ~hi:whi in
+  let arity = Array.make n 0 in
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    (* candidate parents: earlier tasks with spare arity *)
+    let candidates =
+      List.filter (fun j -> arity.(j) < max_children) (List.init i Fun.id)
+    in
+    let parent =
+      match candidates with
+      | [] -> i - 1 (* arity cap everywhere full: chain onto the previous task *)
+      | l -> Rng.choice rng (Array.of_list l)
+    in
+    arity.(parent) <- arity.(parent) + 1;
+    edges := (parent, i) :: !edges
+  done;
+  Dag.make ?labels:None ~weights ~edges:!edges
+
+let in_tree rng ~n ~max_children ~wlo ~whi =
+  Dag.reverse (out_tree rng ~n ~max_children ~wlo ~whi)
+
+(* Tiled right-looking LU; tasks indexed by (kind, step, coordinates). *)
+let lu ~n =
+  assert (n >= 1);
+  let ids = Hashtbl.create 64 in
+  let weights = ref [] in
+  let count = ref 0 in
+  let task key w =
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      Hashtbl.add ids key id;
+      weights := w :: !weights;
+      id
+  in
+  let edges = ref [] in
+  let edge a b = edges := (a, b) :: !edges in
+  (* key encoding: (`Pivot k | `Row (k,j) | `Col (k,i) | `Upd (k,i,j)) *)
+  for k = 0 to n - 1 do
+    let pivot = task (`Pivot k) (1. /. 3.) in
+    if k > 0 then edge (task (`Upd (k - 1, k, k)) 1.) pivot;
+    for j = k + 1 to n - 1 do
+      let row = task (`Row (k, j)) 0.5 in
+      edge pivot row;
+      if k > 0 then edge (task (`Upd (k - 1, k, j)) 1.) row
+    done;
+    for i = k + 1 to n - 1 do
+      let col = task (`Col (k, i)) 0.5 in
+      edge pivot col;
+      if k > 0 then edge (task (`Upd (k - 1, i, k)) 1.) col
+    done;
+    for i = k + 1 to n - 1 do
+      for j = k + 1 to n - 1 do
+        let upd = task (`Upd (k, i, j)) 1. in
+        edge (task (`Row (k, j)) 0.5) upd;
+        edge (task (`Col (k, i)) 0.5) upd;
+        if k > 0 then edge (task (`Upd (k - 1, i, j)) 1.) upd
+      done
+    done
+  done;
+  Dag.make ?labels:None ~weights:(Array.of_list (List.rev !weights)) ~edges:!edges
+
+let fft ~levels =
+  assert (levels >= 1);
+  let lanes = 1 lsl levels in
+  let id stage lane = (stage * lanes) + lane in
+  let nn = (levels + 1) * lanes in
+  let weights = Array.make nn 1. in
+  let edges = ref [] in
+  for stage = 0 to levels - 1 do
+    let stride = 1 lsl stage in
+    for lane = 0 to lanes - 1 do
+      let partner = lane lxor stride in
+      edges := (id stage lane, id (stage + 1) lane) :: !edges;
+      edges := (id stage partner, id (stage + 1) lane) :: !edges
+    done
+  done;
+  Dag.make ?labels:None ~weights ~edges:!edges
+
+let stencil ~rows ~cols =
+  assert (rows >= 1 && cols >= 1);
+  let id i j = (i * cols) + j in
+  let weights = Array.make (rows * cols) 1. in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if i > 0 then edges := (id (i - 1) j, id i j) :: !edges;
+      if j > 0 then edges := (id i (j - 1), id i j) :: !edges
+    done
+  done;
+  Dag.make ?labels:None ~weights ~edges:!edges
+
+(* Tiled Cholesky (left-looking on the lower triangle). *)
+let cholesky ~n =
+  assert (n >= 1);
+  let ids = Hashtbl.create 64 in
+  let weights = ref [] in
+  let count = ref 0 in
+  let task key w =
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      Hashtbl.add ids key id;
+      weights := w :: !weights;
+      id
+  in
+  let edges = ref [] in
+  let edge a b = edges := (a, b) :: !edges in
+  for k = 0 to n - 1 do
+    let potrf = task (`Potrf k) (1. /. 3.) in
+    if k > 0 then edge (task (`Syrk (k - 1, k)) 0.5) potrf;
+    for i = k + 1 to n - 1 do
+      let trsm = task (`Trsm (k, i)) 1. in
+      edge potrf trsm;
+      if k > 0 then edge (task (`Gemm (k - 1, i, k)) 1.) trsm
+    done;
+    for i = k + 1 to n - 1 do
+      (* diagonal update of tile (i,i) by column k *)
+      let syrk = task (`Syrk (k, i)) 0.5 in
+      edge (task (`Trsm (k, i)) 1.) syrk;
+      if k > 0 then edge (task (`Syrk (k - 1, i)) 0.5) syrk;
+      (* off-diagonal updates of tiles (i,j), j < i, by column k *)
+      for j = k + 1 to i - 1 do
+        let gemm = task (`Gemm (k, i, j)) 1. in
+        edge (task (`Trsm (k, i)) 1.) gemm;
+        edge (task (`Trsm (k, j)) 1.) gemm;
+        if k > 0 then edge (task (`Gemm (k - 1, i, j)) 1.) gemm
+      done
+    done
+  done;
+  Dag.make ?labels:None ~weights:(Array.of_list (List.rev !weights)) ~edges:!edges
+
+let pipeline rng ~stages ~width ~wlo ~whi =
+  assert (stages >= 1 && width >= 1);
+  (* per stage: 1 source + width parallel + 1 sink *)
+  let per = width + 2 in
+  let n = stages * per in
+  let weights = Rng.sample_weights rng ~n ~lo:wlo ~hi:whi in
+  let edges = ref [] in
+  for s = 0 to stages - 1 do
+    let base = s * per in
+    let src = base and sink = base + per - 1 in
+    for k = 1 to width do
+      edges := (src, base + k) :: (base + k, sink) :: !edges
+    done;
+    if s > 0 then edges := (base - 1, src) :: !edges
+  done;
+  Dag.make ?labels:None ~weights ~edges:!edges

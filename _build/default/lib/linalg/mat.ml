@@ -1,0 +1,170 @@
+type t = float array array
+
+let make r c x = Array.init r (fun _ -> Array.make c x)
+let init r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+let copy a = Array.map Array.copy a
+
+let dims a =
+  let r = Array.length a in
+  (r, if r = 0 then 0 else Array.length a.(0))
+
+let transpose a =
+  let r, c = dims a in
+  init c r (fun i j -> a.(j).(i))
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  assert (ca = rb);
+  let out = make ra cb 0. in
+  for i = 0 to ra - 1 do
+    let ai = a.(i) and oi = out.(i) in
+    for k = 0 to ca - 1 do
+      let aik = ai.(k) in
+      if aik <> 0. then begin
+        let bk = b.(k) in
+        for j = 0 to cb - 1 do
+          oi.(j) <- oi.(j) +. (aik *. bk.(j))
+        done
+      end
+    done
+  done;
+  out
+
+let mulv a x =
+  let r, c = dims a in
+  assert (c = Array.length x);
+  Array.init r (fun i ->
+      let ai = a.(i) in
+      let acc = ref 0. in
+      for j = 0 to c - 1 do
+        acc := !acc +. (ai.(j) *. x.(j))
+      done;
+      !acc)
+
+let mulv_t a x =
+  let r, c = dims a in
+  assert (r = Array.length x);
+  let out = Array.make c 0. in
+  for i = 0 to r - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then begin
+      let ai = a.(i) in
+      for j = 0 to c - 1 do
+        out.(j) <- out.(j) +. (xi *. ai.(j))
+      done
+    end
+  done;
+  out
+
+let add a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  assert (ra = rb && ca = cb);
+  init ra ca (fun i j -> a.(i).(j) +. b.(i).(j))
+
+let scale s a = Array.map (Array.map (fun v -> s *. v)) a
+
+exception Not_positive_definite
+exception Singular
+
+let cholesky a =
+  let n, m = dims a in
+  assert (n = m);
+  let l = make n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref a.(i).(j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (l.(i).(k) *. l.(j).(k))
+      done;
+      if i = j then begin
+        if !acc <= 0. then raise Not_positive_definite;
+        l.(i).(j) <- sqrt !acc
+      end
+      else l.(i).(j) <- !acc /. l.(j).(j)
+    done
+  done;
+  l
+
+let solve_cholesky l b =
+  let n = Array.length l in
+  assert (n = Array.length b);
+  (* forward: l y = b *)
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(i) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (l.(i).(k) *. y.(k))
+    done;
+    y.(i) <- !acc /. l.(i).(i)
+  done;
+  (* backward: lᵀ x = y *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (l.(k).(i) *. x.(k))
+    done;
+    x.(i) <- !acc /. l.(i).(i)
+  done;
+  x
+
+let lu a =
+  let n, m = dims a in
+  assert (n = m);
+  let lu = copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* partial pivoting *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!pivot).(k) then pivot := i
+    done;
+    if Float.abs lu.(!pivot).(k) < 1e-300 then raise Singular;
+    if !pivot <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot);
+      lu.(!pivot) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tp
+    end;
+    let pk = lu.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let factor = lu.(i).(k) /. pk in
+      lu.(i).(k) <- factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (factor *. lu.(k).(j))
+        done
+    done
+  done;
+  (lu, perm)
+
+let lu_solve (lu, perm) b =
+  let n = Array.length lu in
+  assert (n = Array.length b);
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let acc = ref b.(perm.(i)) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (lu.(i).(k) *. y.(k))
+    done;
+    y.(i) <- !acc
+  done;
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (lu.(i).(k) *. x.(k))
+    done;
+    x.(i) <- !acc /. lu.(i).(i)
+  done;
+  x
+
+let solve a b = lu_solve (lu a) b
+
+let solve_spd a b =
+  match cholesky a with
+  | l -> solve_cholesky l b
+  | exception Not_positive_definite -> solve a b

@@ -1,0 +1,61 @@
+(** Dense row-major matrices and the factorisations used by the
+    log-barrier Newton solver ({!Es_numopt.Barrier}).
+
+    Matrices are represented as [float array array] (array of rows).
+    Sizes in this library stay small (a few hundred rows), so dense
+    O(n³) factorisations are appropriate; no attempt is made at
+    blocking or SIMD. *)
+
+type t = float array array
+
+val make : int -> int -> float -> t
+(** [make r c x] is an [r × c] matrix filled with [x]. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val copy : t -> t
+val dims : t -> int * int
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Inner dimensions must agree. *)
+
+val mulv : t -> Vec.t -> Vec.t
+(** Matrix–vector product. *)
+
+val mulv_t : t -> Vec.t -> Vec.t
+(** [mulv_t a x] is [aᵀ x], computed without forming the transpose. *)
+
+val add : t -> t -> t
+val scale : float -> t -> t
+
+exception Not_positive_definite
+(** Raised by {!cholesky} when a pivot is not strictly positive. *)
+
+exception Singular
+(** Raised by {!lu} / {!solve} on (numerically) singular input. *)
+
+val cholesky : t -> t
+(** [cholesky a] returns the lower-triangular [l] with [l lᵀ = a] for a
+    symmetric positive-definite [a].  Only the lower triangle of [a] is
+    read.  @raise Not_positive_definite otherwise. *)
+
+val solve_cholesky : t -> Vec.t -> Vec.t
+(** [solve_cholesky l b] solves [l lᵀ x = b] given the factor from
+    {!cholesky}. *)
+
+val lu : t -> t * int array
+(** Doolittle LU with partial pivoting: returns the packed factors and
+    the permutation.  @raise Singular on zero pivot. *)
+
+val lu_solve : t * int array -> Vec.t -> Vec.t
+(** Solve using factors from {!lu}. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** One-shot [a x = b] through {!lu}.  @raise Singular. *)
+
+val solve_spd : t -> Vec.t -> Vec.t
+(** One-shot solve for symmetric positive-definite [a] through
+    {!cholesky}, falling back to {!solve} if the Cholesky pivot check
+    fails (which can happen near the boundary of feasibility in the
+    barrier method). *)

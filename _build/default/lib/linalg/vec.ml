@@ -1,0 +1,42 @@
+type t = float array
+
+let make n x = Array.make n x
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_dims x y = assert (Array.length x = Array.length y)
+
+let add x y =
+  check_dims x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_dims x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let scale a x = Array.map (fun v -> a *. v) x
+
+let axpy a x y =
+  check_dims x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let dot x y =
+  check_dims x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+let norm_inf x = Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0. x
+
+let map2 f x y =
+  check_dims x y;
+  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+
+let max_elt x = Array.fold_left Float.max x.(0) x
+let min_elt x = Array.fold_left Float.min x.(0) x

@@ -1,0 +1,40 @@
+(** Dense float vectors.
+
+    Thin wrappers over [float array] providing the handful of BLAS-1
+    operations needed by the simplex and barrier solvers.  All
+    operations allocate a fresh result unless suffixed with
+    [_inplace]. *)
+
+type t = float array
+
+val make : int -> float -> t
+(** [make n x] is the length-[n] vector filled with [x]. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val add : t -> t -> t
+(** Pointwise sum.  Dimensions must agree. *)
+
+val sub : t -> t -> t
+(** Pointwise difference. *)
+
+val scale : float -> t -> t
+(** [scale a x] is [a * x]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+(** Inner product. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Max-norm. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+val max_elt : t -> float
+val min_elt : t -> float

@@ -1,0 +1,60 @@
+type var = int
+
+type row = { expr : (float * var) list; relation : Simplex.relation; rhs : float }
+
+type t = {
+  mutable names : string list; (* reversed *)
+  mutable objs : float list; (* reversed *)
+  mutable nv : int;
+  mutable rows : row list; (* reversed *)
+  mutable nr : int;
+}
+
+type expr = (float * var) list
+
+let create () = { names = []; objs = []; nv = 0; rows = []; nr = 0 }
+
+let var t ?(obj = 0.) name =
+  let id = t.nv in
+  t.nv <- id + 1;
+  t.names <- name :: t.names;
+  t.objs <- obj :: t.objs;
+  id
+
+let obj_coeff t v c =
+  (* The objective list is reversed: entry for variable [v] sits at
+     position [nv - 1 - v]. *)
+  let pos = t.nv - 1 - v in
+  t.objs <- List.mapi (fun i x -> if i = pos then c else x) t.objs
+
+let add_row t expr relation rhs =
+  t.rows <- { expr; relation; rhs } :: t.rows;
+  t.nr <- t.nr + 1
+
+let le t expr rhs = add_row t expr Simplex.Le rhs
+let ge t expr rhs = add_row t expr Simplex.Ge rhs
+let eq t expr rhs = add_row t expr Simplex.Eq rhs
+let upper_bound t v u = le t [ (1., v) ] u
+
+type solution = { objective : float; values : float array; duals : float array }
+type outcome = Solution of solution | Infeasible | Unbounded
+
+let solve ?max_iters t =
+  let obj = Array.of_list (List.rev t.objs) in
+  let to_constr { expr; relation; rhs } =
+    let coeffs = Array.make t.nv 0. in
+    List.iter (fun (c, v) -> coeffs.(v) <- coeffs.(v) +. c) expr;
+    { Simplex.coeffs; relation; rhs }
+  in
+  let constraints = List.rev_map to_constr t.rows in
+  match Simplex.solve ?max_iters ~obj constraints with
+  | Simplex.Optimal { objective; solution; duals } ->
+    Solution { objective; values = solution; duals }
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+
+let objective s = s.objective
+let value s v = s.values.(v)
+let duals s = Array.copy s.duals
+let n_vars t = t.nv
+let n_constraints t = t.nr

@@ -1,0 +1,57 @@
+(** Named-variable LP builder on top of {!Simplex}.
+
+    The energy-scheduling LPs (VDD-HOPPING BI-CRIT, fixed-subset
+    TRI-CRIT) are much easier to state with named variables and
+    incremental rows than with raw coefficient arrays; this module
+    provides that layer.  All variables are non-negative, as in the
+    paper's formulations (execution-time shares and start times). *)
+
+type t
+(** A problem under construction. *)
+
+type var
+(** Handle to a variable of a particular problem. *)
+
+val create : unit -> t
+
+val var : t -> ?obj:float -> string -> var
+(** [var t ~obj name] registers a fresh non-negative variable with
+    objective coefficient [obj] (default [0.]).  Names are for
+    debugging and need not be unique. *)
+
+val obj_coeff : t -> var -> float -> unit
+(** Overwrite the objective coefficient of [var]. *)
+
+type expr = (float * var) list
+(** Linear expression [Σ cᵢ·xᵢ]. *)
+
+val le : t -> expr -> float -> unit
+(** Add [expr ≤ rhs]. *)
+
+val ge : t -> expr -> float -> unit
+(** Add [expr ≥ rhs]. *)
+
+val eq : t -> expr -> float -> unit
+(** Add [expr = rhs]. *)
+
+val upper_bound : t -> var -> float -> unit
+(** Convenience for [x ≤ u]. *)
+
+type solution
+(** Optimal solution of a solved problem. *)
+
+type outcome = Solution of solution | Infeasible | Unbounded
+
+val solve : ?max_iters:int -> t -> outcome
+(** Minimise the objective.  See {!Simplex.solve} for [max_iters]. *)
+
+val objective : solution -> float
+val value : solution -> var -> float
+
+val duals : solution -> float array
+(** Dual multipliers, one per constraint in the order the rows were
+    added (see {!Simplex.outcome}).  Used by the sensitivity experiment
+    to read the marginal energy cost of the deadline. *)
+
+val n_vars : t -> int
+val n_constraints : t -> int

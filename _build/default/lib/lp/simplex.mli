@@ -1,0 +1,40 @@
+(** Dense two-phase primal simplex.
+
+    Solves [minimise cᵀx subject to A x (≤|=|≥) b, x ≥ 0].  This is the
+    LP engine behind the paper's polynomial-time result for BI-CRIT
+    under the VDD-HOPPING model (Section IV) and for the fixed-subset
+    TRI-CRIT VDD-HOPPING subproblem.
+
+    The implementation is a textbook tableau method: phase 1 minimises
+    the sum of artificial variables to find a basic feasible point,
+    phase 2 optimises the true objective.  Dantzig pricing is used by
+    default and the solver falls back to Bland's rule after an
+    iteration threshold, which guarantees termination on degenerate
+    instances.  Problem sizes in this project are a few hundred rows,
+    for which the dense tableau is perfectly adequate. *)
+
+type relation = Le | Eq | Ge
+
+type constr = { coeffs : float array; relation : relation; rhs : float }
+(** One row [coeffs · x (≤|=|≥) rhs].  [coeffs] has one entry per
+    structural variable. *)
+
+type outcome =
+  | Optimal of {
+      objective : float;
+      solution : float array;  (** the structural variables *)
+      duals : float array;
+          (** one dual multiplier per constraint, in input order: the
+              shadow price [∂objective/∂rhs].  For a binding [≤] row of
+              a minimisation it is non-positive; non-binding rows price
+              at 0.  On degenerate optima the value is one valid
+              choice. *)
+    }  (** Minimiser found. *)
+  | Infeasible  (** Phase 1 ended with positive artificial mass. *)
+  | Unbounded  (** Phase 2 found an improving ray. *)
+
+val solve : ?max_iters:int -> obj:float array -> constr list -> outcome
+(** [solve ~obj constraints] minimises [obj · x].  All structural
+    variables are implicitly non-negative.  [max_iters] bounds the
+    total pivot count (default [200_000]); exceeding it raises
+    [Failure]. *)

@@ -1,0 +1,1 @@
+lib/numopt/barrier.ml: Array Es_linalg

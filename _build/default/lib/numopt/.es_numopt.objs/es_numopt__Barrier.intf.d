@@ -1,0 +1,1 @@
+lib/numopt/barrier.mli: Es_linalg

@@ -1,0 +1,1 @@
+lib/numopt/scalar.mli:

@@ -1,0 +1,111 @@
+module Vec = Es_linalg.Vec
+module Mat = Es_linalg.Mat
+
+type objective = { f : Vec.t -> float; grad : Vec.t -> Vec.t; hess : Vec.t -> Mat.t }
+
+exception Not_strictly_feasible
+
+let slacks ~a ~b x =
+  let ax = Mat.mulv a x in
+  Vec.sub b ax
+
+let feasible_start ~a ~b ~x0 =
+  Array.for_all (fun s -> s > 0.) (slacks ~a ~b x0)
+
+(* Barrier-augmented value, gradient and Hessian at x for weight t:
+   phi(x) = t f(x) - sum_i log s_i with s = b - A x.
+   grad = t grad_f + A^T (1/s)
+   hess = t hess_f + A^T diag(1/s^2) A *)
+let barrier_value obj ~t ~a ~b x =
+  let s = slacks ~a ~b x in
+  if Array.exists (fun v -> v <= 0.) s then infinity
+  else begin
+    let logsum = Array.fold_left (fun acc v -> acc +. log v) 0. s in
+    (t *. obj.f x) -. logsum
+  end
+
+let barrier_grad obj ~t ~a ~b x =
+  let s = slacks ~a ~b x in
+  let inv = Array.map (fun v -> 1. /. v) s in
+  let g = Vec.scale t (obj.grad x) in
+  let at_inv = Mat.mulv_t a inv in
+  Vec.add g at_inv
+
+let barrier_hess obj ~t ~a ~b x =
+  let s = slacks ~a ~b x in
+  let h = Mat.scale t (obj.hess x) in
+  let m, n = Mat.dims a in
+  assert (n = Vec.dim x);
+  (* h += A^T diag(1/s²) A, accumulated row by row of A. *)
+  for i = 0 to m - 1 do
+    let w = 1. /. (s.(i) *. s.(i)) in
+    let ai = a.(i) in
+    for j = 0 to n - 1 do
+      let aij = ai.(j) in
+      if aij <> 0. then begin
+        let hj = h.(j) in
+        let waij = w *. aij in
+        for k = 0 to n - 1 do
+          hj.(k) <- hj.(k) +. (waij *. ai.(k))
+        done
+      end
+    done
+  done;
+  h
+
+(* Damped Newton with backtracking on the barrier function; stops when
+   the Newton decrement is small. *)
+let newton obj ~t ~a ~b ~tol ~max_iters x0 =
+  let x = ref (Vec.copy x0) in
+  let continue = ref true in
+  let iters = ref 0 in
+  while !continue && !iters < max_iters do
+    incr iters;
+    let g = barrier_grad obj ~t ~a ~b !x in
+    let h = barrier_hess obj ~t ~a ~b !x in
+    (* Regularise slightly: keeps Cholesky happy when f is flat along
+       some direction inside the polytope. *)
+    let n = Vec.dim !x in
+    for i = 0 to n - 1 do
+      h.(i).(i) <- h.(i).(i) +. 1e-12
+    done;
+    let step =
+      match Mat.solve_spd h (Vec.scale (-1.) g) with
+      | s -> s
+      | exception Mat.Singular -> Vec.scale (-1e-6) g
+    in
+    let decrement = -.Vec.dot g step in
+    if decrement /. 2. <= tol then continue := false
+    else begin
+      (* backtracking line search, alpha=0.25, beta=0.5 *)
+      let phi0 = barrier_value obj ~t ~a ~b !x in
+      let rec search stepsize k =
+        if k > 60 then None
+        else begin
+          let cand = Vec.copy !x in
+          Vec.axpy stepsize step cand;
+          let phi = barrier_value obj ~t ~a ~b cand in
+          if phi <= phi0 -. (0.25 *. stepsize *. decrement) then Some cand
+          else search (stepsize *. 0.5) (k + 1)
+        end
+      in
+      match search 1. 0 with
+      | Some cand -> x := cand
+      | None -> continue := false
+    end
+  done;
+  !x
+
+let minimize ?(tol = 1e-8) ?(t0 = 1.) ?(mu = 15.) ?(newton_tol = 1e-10)
+    ?(max_newton = 80) obj ~a ~b ~x0 =
+  if not (feasible_start ~a ~b ~x0) then raise Not_strictly_feasible;
+  let m, _ = Mat.dims a in
+  let x = ref (Vec.copy x0) in
+  let t = ref t0 in
+  let gap () = float_of_int m /. !t in
+  while gap () > tol do
+    x := newton obj ~t:!t ~a ~b ~tol:newton_tol ~max_iters:max_newton !x;
+    t := !t *. mu
+  done;
+  x := newton obj ~t:!t ~a ~b ~tol:newton_tol ~max_iters:max_newton !x;
+  !x

@@ -1,0 +1,47 @@
+(** Log-barrier interior-point method for linearly constrained convex
+    programs.
+
+    Solves [minimise f(x) subject to A x ≤ b] for smooth convex [f]
+    with user-supplied gradient and Hessian.  This is the
+    "geometric programming" engine the paper invokes (Section III,
+    citing Boyd & Vandenberghe §4.5) for BI-CRIT CONTINUOUS on general
+    DAGs: the energy objective [Σ wᵢ³/dᵢ²] is convex in the durations
+    and every precedence/deadline constraint is linear in the start
+    times and durations.
+
+    The method is the standard path-following scheme: minimise
+    [t·f(x) − Σ log(bᵢ − aᵢx)] by damped Newton for increasing [t]
+    until [m/t] (the duality-gap bound) drops below [tol]. *)
+
+type objective = {
+  f : Es_linalg.Vec.t -> float;  (** objective value *)
+  grad : Es_linalg.Vec.t -> Es_linalg.Vec.t;  (** gradient *)
+  hess : Es_linalg.Vec.t -> Es_linalg.Mat.t;  (** Hessian (dense) *)
+}
+
+exception Not_strictly_feasible
+(** Raised when the supplied starting point violates [A x < b]. *)
+
+val minimize :
+  ?tol:float ->
+  ?t0:float ->
+  ?mu:float ->
+  ?newton_tol:float ->
+  ?max_newton:int ->
+  objective ->
+  a:Es_linalg.Mat.t ->
+  b:Es_linalg.Vec.t ->
+  x0:Es_linalg.Vec.t ->
+  Es_linalg.Vec.t
+(** [minimize obj ~a ~b ~x0] returns an approximate minimiser.  [x0]
+    must satisfy [a x0 < b] strictly.  [tol] is the target duality gap
+    (default [1e-8]); [mu] the barrier growth factor (default [15.]);
+    [t0] the initial barrier weight (default [1.]).
+
+    @raise Not_strictly_feasible if [x0] is on or outside the
+    boundary. *)
+
+val feasible_start :
+  a:Es_linalg.Mat.t -> b:Es_linalg.Vec.t -> x0:Es_linalg.Vec.t -> bool
+(** [feasible_start ~a ~b ~x0] checks strict feasibility, as required
+    by {!minimize}. *)

@@ -1,0 +1,1 @@
+lib/platform/speed.ml: Array Float Format List Option Printf String

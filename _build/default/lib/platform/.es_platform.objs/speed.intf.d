@@ -1,0 +1,1 @@
+lib/platform/speed.mli: Format

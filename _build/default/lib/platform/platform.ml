@@ -1,0 +1,9 @@
+type t = { p : int; model : Speed.t }
+
+let make ~p ~model =
+  if p < 1 then invalid_arg "Platform.make: need p >= 1";
+  { p; model }
+
+let p t = t.p
+let model t = t.model
+let pp ppf t = Format.fprintf ppf "%d processors, %a" t.p Speed.pp t.model

@@ -1,0 +1,13 @@
+(** Execution platform: [p] identical processors sharing one speed
+    model.  The paper's platforms are homogeneous; heterogeneity never
+    appears, so a platform is just a processor count and a model. *)
+
+type t = { p : int; model : Speed.t }
+
+val make : p:int -> model:Speed.t -> t
+(** @raise Invalid_argument unless [p >= 1]. *)
+
+val p : t -> int
+val model : t -> Speed.t
+
+val pp : Format.formatter -> t -> unit

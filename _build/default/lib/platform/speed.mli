@@ -1,0 +1,75 @@
+(** Speed models (Section II of the paper).
+
+    A processor can run at different speeds; which values are
+    admissible, and whether the speed may change in the middle of a
+    task, is the speed model:
+
+    - {b CONTINUOUS}: any real speed in [\[fmin, fmax\]];
+    - {b DISCRETE}: a finite, arbitrarily spread set [f₁ < … < fₘ],
+      one speed per task execution;
+    - {b VDD-HOPPING}: the same finite set, but the processor may hop
+      between speeds during a task, so any point of the convex hull of
+      [(1/f, f²)] trade-offs is reachable;
+    - {b INCREMENTAL}: evenly spaced speeds [fmin + i·δ ≤ fmax] — the
+      "potentiometer knob" model. *)
+
+type t =
+  | Continuous of { fmin : float; fmax : float }
+  | Discrete of float array  (** strictly increasing, positive *)
+  | Vdd_hopping of float array  (** strictly increasing, positive *)
+  | Incremental of { fmin : float; fmax : float; delta : float }
+
+val continuous : fmin:float -> fmax:float -> t
+(** @raise Invalid_argument unless [0 < fmin <= fmax]. *)
+
+val discrete : float array -> t
+(** Sorts and deduplicates.  @raise Invalid_argument on empty input or
+    non-positive speeds. *)
+
+val vdd_hopping : float array -> t
+(** Same validation as {!discrete}. *)
+
+val incremental : fmin:float -> fmax:float -> delta:float -> t
+(** @raise Invalid_argument unless [0 < fmin <= fmax] and [delta > 0]. *)
+
+val fmin : t -> float
+(** Smallest admissible speed. *)
+
+val fmax : t -> float
+(** Largest admissible speed. *)
+
+val levels : t -> float array option
+(** The admissible speed set for the three discrete models (for
+    INCREMENTAL, the expanded grid), [None] for CONTINUOUS. *)
+
+val n_levels : t -> int option
+
+val admissible : ?tol:float -> t -> float -> bool
+(** Whether a single-execution speed value is allowed by the model.
+    Under VDD-HOPPING any value between [fmin] and [fmax] is reachable
+    as a mix, so the check is the interval test. *)
+
+val round_up : t -> float -> float option
+(** Smallest admissible speed [≥ f]; [None] above [fmax].  For
+    CONTINUOUS (and VDD-HOPPING mixes) this clamps into the interval.
+    This is the rounding step of the paper's INCREMENTAL approximation
+    algorithm. *)
+
+val round_down : t -> float -> float option
+(** Largest admissible speed [≤ f]; [None] below [fmin]. *)
+
+val bracket : t -> float -> (float * float) option
+(** [bracket m f] returns consecutive levels [(f₋, f₊)] with
+    [f₋ ≤ f ≤ f₊] for discrete models — the two speeds used to emulate
+    a continuous speed under VDD-HOPPING.  Returns [(f, f)] when [f] is
+    itself a level, [None] outside the range, and [(f, f)] for
+    CONTINUOUS. *)
+
+val exec_time : w:float -> f:float -> float
+(** [w / f]: duration of a task of weight [w] at speed [f]. *)
+
+val energy : w:float -> f:float -> float
+(** [w·f²]: dynamic energy of executing weight [w] at speed [f]
+    (power [f³] during [w/f] time units). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Dag Float Fun List Mapping

@@ -1,0 +1,1 @@
+lib/sched/mapping.ml: Array Dag Es_util Format List Printf String

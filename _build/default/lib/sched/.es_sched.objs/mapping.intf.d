@@ -1,0 +1,1 @@
+lib/sched/mapping.mli: Dag Format

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Dag Es_util Format List Mapping Printf String

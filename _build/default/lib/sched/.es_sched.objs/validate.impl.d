@@ -1,0 +1,1 @@
+lib/sched/validate.ml: Array Dag Float List Printf Rel Schedule Speed

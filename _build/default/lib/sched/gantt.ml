@@ -1,0 +1,42 @@
+let render ?(width = 72) ?deadline sched =
+  let dag = Schedule.dag sched in
+  let mapping = Schedule.mapping sched in
+  let starts = Schedule.start_times sched in
+  let horizon =
+    let ms = Schedule.makespan sched in
+    match deadline with Some d -> Float.max ms d | None -> ms
+  in
+  let horizon = if horizon <= 0. then 1. else horizon in
+  let col t = int_of_float (Float.of_int width *. t /. horizon) in
+  let buf = Buffer.create 1024 in
+  for k = 0 to Mapping.p mapping - 1 do
+    let row = Bytes.make (width + 1) '.' in
+    List.iter
+      (fun i ->
+        let t0 = starts.(i) in
+        let execs = Schedule.executions sched i in
+        let letter = Char.chr (Char.code 'A' + (i mod 26)) in
+        let paint from until c =
+          for x = max 0 (col from) to min width (col until - 1) do
+            Bytes.set row x c
+          done
+        in
+        (match execs with
+        | [ e ] -> paint t0 (t0 +. Schedule.exec_time e) letter
+        | [ e1; e2 ] ->
+          let mid = t0 +. Schedule.exec_time e1 in
+          paint t0 mid letter;
+          paint mid (mid +. Schedule.exec_time e2) '*'
+        | _ -> ()))
+      (Mapping.order mapping k);
+    (match deadline with
+    | Some d when col d <= width -> Bytes.set row (min width (col d)) '|'
+    | _ -> ());
+    Buffer.add_string buf (Printf.sprintf "P%-2d %s\n" k (Bytes.to_string row))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "    0%s%.3g\n" (String.make (max 0 (width - 6)) ' ') horizon);
+  ignore dag;
+  Buffer.contents buf
+
+let print ?width ?deadline sched = print_string (render ?width ?deadline sched)

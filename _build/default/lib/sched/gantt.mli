@@ -1,0 +1,10 @@
+(** ASCII Gantt charts of worst-case schedules, for the examples and
+    for debugging heuristics by eye. *)
+
+val render : ?width:int -> ?deadline:float -> Schedule.t -> string
+(** One row per processor; each task paints its worst-case execution
+    interval (both attempts for re-executed tasks, the second marked
+    with ['*']).  [width] is the chart width in characters (default
+    72); [deadline] adds a marker column. *)
+
+val print : ?width:int -> ?deadline:float -> Schedule.t -> unit

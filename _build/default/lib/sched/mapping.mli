@@ -1,0 +1,55 @@
+(** Task-to-processor mappings.
+
+    Following the paper (Section II), the mapping of the DAG onto the
+    [p] processors is an {e input} of both BI-CRIT and TRI-CRIT: "an
+    ordered list of tasks to execute on each processor".  The schedule
+    may change speeds and add re-executions but never moves a task.
+
+    The central derived object is the {!constraint_dag}: the
+    application DAG augmented with an edge between consecutive tasks of
+    each processor's list.  A speed assignment meets the deadline iff
+    the longest path of the constraint DAG under the induced durations
+    is at most [D] — this reduction is what lets every optimizer in
+    [lib/core] reason about a single DAG. *)
+
+type t
+
+val make : p:int -> Dag.t -> order:Dag.task list array -> t
+(** [make ~p dag ~order] with [order.(k)] the execution order on
+    processor [k].  The lists must partition the task set, and the
+    concatenation must respect precedence (checked by building the
+    constraint DAG).  @raise Invalid_argument otherwise. *)
+
+val single_processor : Dag.t -> t
+(** All tasks on one processor, in (deterministic) topological order —
+    the linear-chain setting of the paper's TRI-CRIT NP-hardness
+    proof. *)
+
+val one_task_per_proc : Dag.t -> t
+(** Task [i] on processor [i] — the fully parallel mapping assumed by
+    the fork/SP closed-form theorems. *)
+
+val p : t -> int
+val dag : t -> Dag.t
+
+val order : t -> int -> Dag.task list
+(** Execution order of one processor. *)
+
+val proc_of : t -> Dag.task -> int
+val rank_of : t -> Dag.task -> int
+(** Position of the task in its processor's list. *)
+
+val constraint_dag : t -> Dag.t
+(** The application DAG plus processor-order edges (memoised). *)
+
+val load : t -> int -> float
+(** Total weight mapped on a processor. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_assignment : p:int -> Dag.t -> proc:int array -> t
+(** Build a mapping from a bare task→processor assignment, ordering
+    each processor's list by the DAG's (deterministic) topological
+    order — the natural completion when a placement tool provides no
+    intra-processor order.  @raise Invalid_argument on an out-of-range
+    processor. *)

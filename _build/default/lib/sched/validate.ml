@@ -1,0 +1,70 @@
+type violation =
+  | Inadmissible_speed of { task : Dag.task; speed : float }
+  | Speed_change_forbidden of { task : Dag.task }
+  | Deadline_exceeded of { makespan : float; deadline : float }
+  | Reliability_violated of { task : Dag.task; failure : float; target : float }
+
+let check ?deadline ?rel ~model sched =
+  let dag = Schedule.dag sched in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  for i = 0 to Dag.n dag - 1 do
+    let execs = Schedule.executions sched i in
+    List.iter
+      (fun e ->
+        (match model with
+        | Speed.Discrete _ | Speed.Incremental _ ->
+          if List.length e > 1 then add (Speed_change_forbidden { task = i })
+        | Speed.Continuous _ | Speed.Vdd_hopping _ -> ());
+        List.iter
+          (fun (p : Schedule.part) ->
+            let ok =
+              match model with
+              | Speed.Vdd_hopping levels ->
+                (* each part must sit exactly on a level *)
+                Array.exists (fun g -> Float.abs (g -. p.speed) <= 1e-6) levels
+              | m -> Speed.admissible ~tol:1e-6 m p.speed
+            in
+            if not ok then add (Inadmissible_speed { task = i; speed = p.speed }))
+          e)
+      execs;
+    match rel with
+    | None -> ()
+    | Some params ->
+      let w = Dag.weight dag i in
+      let target = Rel.target_failure params ~w in
+      let failure_of e =
+        Rel.vdd_failure params
+          ~parts:(List.map (fun (p : Schedule.part) -> (p.speed, p.time)) e)
+      in
+      let failure =
+        match execs with
+        | [ e ] -> failure_of e
+        | [ e1; e2 ] -> failure_of e1 *. failure_of e2
+        | _ -> assert false (* Schedule.make enforces 1 or 2 *)
+      in
+      (* small tolerance: heuristics sit exactly on the constraint *)
+      if failure > target *. (1. +. 1e-6) +. 1e-15 then
+        add (Reliability_violated { task = i; failure; target })
+  done;
+  (match deadline with
+  | None -> ()
+  | Some d ->
+    let ms = Schedule.makespan sched in
+    if ms > d *. (1. +. 1e-6) +. 1e-12 then
+      add (Deadline_exceeded { makespan = ms; deadline = d }));
+  List.rev !violations
+
+let is_feasible ?deadline ?rel ~model sched = check ?deadline ?rel ~model sched = []
+
+let explain dag = function
+  | Inadmissible_speed { task; speed } ->
+    Printf.sprintf "task %s runs at inadmissible speed %g" (Dag.label dag task) speed
+  | Speed_change_forbidden { task } ->
+    Printf.sprintf "task %s changes speed mid-execution under a discrete model"
+      (Dag.label dag task)
+  | Deadline_exceeded { makespan; deadline } ->
+    Printf.sprintf "makespan %g exceeds deadline %g" makespan deadline
+  | Reliability_violated { task; failure; target } ->
+    Printf.sprintf "task %s failure probability %g above target %g"
+      (Dag.label dag task) failure target

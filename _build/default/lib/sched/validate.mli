@@ -1,0 +1,35 @@
+(** Feasibility checking of complete schedules.
+
+    Every optimizer and heuristic in the core library is checked
+    against this single validator in the test suite, so that
+    "feasible" means the same thing everywhere: speeds admissible for
+    the platform's speed model, worst-case makespan within the
+    deadline, and — when reliability parameters are supplied — the
+    per-task TRI-CRIT constraint of Eq. (1). *)
+
+type violation =
+  | Inadmissible_speed of { task : Dag.task; speed : float }
+  | Speed_change_forbidden of { task : Dag.task }
+      (** more than one constant-speed part under DISCRETE or
+          INCREMENTAL *)
+  | Deadline_exceeded of { makespan : float; deadline : float }
+  | Reliability_violated of { task : Dag.task; failure : float; target : float }
+
+val check :
+  ?deadline:float ->
+  ?rel:Rel.params ->
+  model:Speed.t ->
+  Schedule.t ->
+  violation list
+(** Empty list = feasible.  The makespan is the worst-case one (all
+    re-executions count). *)
+
+val is_feasible :
+  ?deadline:float ->
+  ?rel:Rel.params ->
+  model:Speed.t ->
+  Schedule.t ->
+  bool
+
+val explain : Dag.t -> violation -> string
+(** Human-readable rendering for error reports. *)

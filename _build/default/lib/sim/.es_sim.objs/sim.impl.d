@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Dag Es_util List Mapping Rel Schedule

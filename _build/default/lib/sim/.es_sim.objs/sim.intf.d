@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Dag Es_util Rel Schedule

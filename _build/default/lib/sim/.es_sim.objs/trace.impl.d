@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Bytes Char Dag Es_util Float List Mapping Printf Rel Schedule String

@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Dag Es_util Rel Schedule

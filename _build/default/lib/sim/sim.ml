@@ -1,0 +1,115 @@
+module Rng = Es_util.Rng
+
+type run = {
+  success : bool;
+  faults : int;
+  realised_makespan : float;
+  realised_energy : float;
+}
+
+let attempt_failure ~rel e =
+  let parts = List.map (fun (p : Schedule.part) -> (p.speed, p.time)) e in
+  Es_util.Futil.clamp ~lo:0. ~hi:1. (Rel.vdd_failure rel ~parts)
+
+let analytic_task_failure ~rel sched i =
+  List.fold_left
+    (fun acc e -> acc *. attempt_failure ~rel e)
+    1. (Schedule.executions sched i)
+
+let run rng ~rel sched =
+  let dag = Schedule.dag sched in
+  let cdag = Mapping.constraint_dag (Schedule.mapping sched) in
+  let n = Dag.n dag in
+  let faults = ref 0 in
+  let all_ok = ref true in
+  (* realised duration and energy of every task in this run *)
+  let durations = Array.make n 0. in
+  let energy = ref 0. in
+  for i = 0 to n - 1 do
+    let rec attempts ok = function
+      | [] -> ok
+      | e :: rest ->
+        if ok then ok (* earlier attempt succeeded: later ones never run *)
+        else begin
+          durations.(i) <- durations.(i) +. Schedule.exec_time e;
+          energy := !energy +. Schedule.exec_energy e;
+          let failed = Rng.bernoulli rng (attempt_failure ~rel e) in
+          if failed then begin
+            incr faults;
+            attempts false rest
+          end
+          else attempts true rest
+        end
+    in
+    let ok = attempts false (Schedule.executions sched i) in
+    if not ok then all_ok := false
+  done;
+  let realised_makespan = Dag.critical_path_length cdag ~durations in
+  { success = !all_ok; faults = !faults; realised_makespan; realised_energy = !energy }
+
+type report = {
+  trials : int;
+  success_rate : float;
+  task_failure_rate : float array;
+  mean_faults : float;
+  mean_realised_makespan : float;
+  max_realised_makespan : float;
+  mean_realised_energy : float;
+  worst_case_makespan : float;
+  worst_case_energy : float;
+}
+
+let monte_carlo rng ~rel ~trials sched =
+  assert (trials > 0);
+  let dag = Schedule.dag sched in
+  let cdag = Mapping.constraint_dag (Schedule.mapping sched) in
+  let n = Dag.n dag in
+  let task_failures = Array.make n 0 in
+  let successes = ref 0 in
+  let total_faults = ref 0 in
+  let ms = Es_util.Stats.online_create () in
+  let en = Es_util.Stats.online_create () in
+  let max_ms = ref 0. in
+  let durations = Array.make n 0. in
+  for _ = 1 to trials do
+    Array.fill durations 0 n 0.;
+    let energy = ref 0. and all_ok = ref true in
+    for i = 0 to n - 1 do
+      let rec attempts ok = function
+        | [] -> ok
+        | e :: rest ->
+          if ok then ok
+          else begin
+            durations.(i) <- durations.(i) +. Schedule.exec_time e;
+            energy := !energy +. Schedule.exec_energy e;
+            let failed = Rng.bernoulli rng (attempt_failure ~rel e) in
+            if failed then begin
+              incr total_faults;
+              attempts false rest
+            end
+            else attempts true rest
+          end
+      in
+      if not (attempts false (Schedule.executions sched i)) then begin
+        all_ok := false;
+        task_failures.(i) <- task_failures.(i) + 1
+      end
+    done;
+    if !all_ok then incr successes;
+    let m = Dag.critical_path_length cdag ~durations in
+    if m > !max_ms then max_ms := m;
+    Es_util.Stats.online_add ms m;
+    Es_util.Stats.online_add en !energy
+  done;
+  let ftrials = float_of_int trials in
+  {
+    trials;
+    success_rate = float_of_int !successes /. ftrials;
+    task_failure_rate = Array.map (fun c -> float_of_int c /. ftrials) task_failures;
+    mean_faults = float_of_int !total_faults /. ftrials;
+    mean_realised_makespan = Es_util.Stats.online_mean ms;
+    max_realised_makespan = !max_ms;
+    mean_realised_energy = Es_util.Stats.online_mean en;
+    worst_case_makespan = Schedule.makespan sched;
+    worst_case_energy = Schedule.energy sched;
+  }

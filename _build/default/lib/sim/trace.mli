@@ -1,0 +1,33 @@
+(** Realised execution traces.
+
+    {!Sim} reports aggregates; this module records one run in full —
+    which attempts ran, when, and whether they failed — and renders the
+    realised timeline, making the difference between the paper's
+    worst-case accounting and an actual execution visible (used by the
+    examples and for debugging schedules by eye). *)
+
+type event = {
+  task : Dag.task;
+  attempt : int;  (** 1 or 2 *)
+  start : float;
+  finish : float;
+  failed : bool;
+}
+
+type t = {
+  events : event list;  (** ordered by start time *)
+  success : bool;
+  makespan : float;  (** realised *)
+  energy : float;  (** realised *)
+}
+
+val run : Es_util.Rng.t -> rel:Rel.params -> Schedule.t -> t
+(** Simulate one execution and record every attempt.  Start times are
+    the earliest-start times of the realised durations on the
+    mapping's constraint DAG (attempt 2 runs immediately after a failed
+    attempt 1). *)
+
+val render : ?width:int -> Schedule.t -> t -> string
+(** ASCII chart of the realised run: one row per processor; attempts
+    that failed are drawn with ['x'], successful second attempts with
+    ['*']. *)

@@ -1,0 +1,1 @@
+lib/util/futil.ml: Array Float List Printf

@@ -1,0 +1,1 @@
+test/test_bicrit.ml: Alcotest Array Bicrit_continuous Dag Es_util Float Gen Generators List List_sched Mapping Option Printf QCheck QCheck_alcotest Sp

@@ -1,0 +1,1 @@
+test/test_complexity.ml: Alcotest Array Complexity Dag Float Fun Gen List Mapping Printf QCheck QCheck_alcotest Rel String Tricrit_chain

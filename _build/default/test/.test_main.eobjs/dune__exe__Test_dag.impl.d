@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Es_util Fun Generators List QCheck QCheck_alcotest Sp

@@ -1,0 +1,1 @@
+test/test_discrete.ml: Alcotest Array Bicrit_continuous Bicrit_discrete Bicrit_incremental Dag Es_util Float Generators List List_sched Mapping Option Printf Schedule Speed Validate

@@ -1,0 +1,1 @@
+test/test_heuristics.ml: Alcotest Array Es_util Float Fun Generators Heuristics List List_sched Lower_bounds Mapping Option Printf Rel Schedule Speed Tricrit_chain Tricrit_fork Validate

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Es_linalg Es_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Es_linalg Es_lp Es_util Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_numopt.ml: Alcotest Array Es_numopt

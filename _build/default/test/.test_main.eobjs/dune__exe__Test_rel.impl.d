@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Float List QCheck QCheck_alcotest Rel

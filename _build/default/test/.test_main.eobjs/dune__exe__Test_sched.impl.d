@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Dag Es_util Gantt Generators List List_sched Mapping Rel Schedule Speed String Validate

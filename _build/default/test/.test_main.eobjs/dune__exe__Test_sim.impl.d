@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dag Es_util Float Fun Generators List Mapping Printf Rel Schedule Sim

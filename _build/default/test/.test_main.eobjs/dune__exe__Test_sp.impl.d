@@ -1,0 +1,1 @@
+test/test_sp.ml: Alcotest Bicrit_continuous Dag Es_util Float Format Generators List QCheck QCheck_alcotest Sp String

@@ -1,0 +1,1 @@
+test/test_tricrit.ml: Alcotest Array Dag Es_util Float Fun Generators Heuristics List List_sched Mapping Option Printf Rel Sp Speed Tricrit_chain Tricrit_fork Validate

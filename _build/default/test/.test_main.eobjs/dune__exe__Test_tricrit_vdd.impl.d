@@ -1,0 +1,1 @@
+test/test_tricrit_vdd.ml: Alcotest Array Dag Es_util Fun Generators List Mapping Option Printf Rel Speed Tricrit_chain Tricrit_vdd Validate

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Astring Es_util Float Fun Gen QCheck QCheck_alcotest String

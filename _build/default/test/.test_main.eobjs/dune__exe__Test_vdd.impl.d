@@ -1,0 +1,1 @@
+test/test_vdd.ml: Alcotest Array Bicrit_continuous Bicrit_discrete Bicrit_vdd Dag Es_util Float Generators List List_sched Mapping Printf QCheck QCheck_alcotest Schedule Speed Validate

@@ -1,0 +1,4 @@
+  $ esched generate -w fork -n 4 --seed 7 | head -3
+  $ esched solve -w fork -n 4 --seed 7 -m continuous --slack 2 | tail -3
+  $ esched solve -w fork -n 4 --seed 7 -m vdd --slack 2 | head -2
+  $ esched solve -w fork -n 4 --seed 7 -m continuous -r --slack 3 | grep validation

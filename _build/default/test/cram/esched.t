@@ -1,0 +1,21 @@
+The CLI pipeline is deterministic given a seed: generate a workload,
+solve it under two models, and check the validator's verdict.
+
+  $ esched generate -w fork -n 4 --seed 7 | head -3
+  tasks: 5, edges: 4, total weight: 11.977
+  critical path (at fmax): 5.229
+  T0 (w=2.25144) -> T1, T2, T3, T4
+
+  $ esched solve -w fork -n 4 --seed 7 -m continuous --slack 2 | tail -3
+  energy: 2.407788
+  worst-case makespan: 10.457184
+  validation: OK
+
+  $ esched solve -w fork -n 4 --seed 7 -m vdd --slack 2 | head -2
+  n=5 p=4 Dmin=5.2286 deadline=10.4572 model=vdd-hopping
+  engine: vdd-hopping LP (provably optimal)
+
+TRI-CRIT with reliability engages re-execution machinery end to end.
+
+  $ esched solve -w fork -n 4 --seed 7 -m continuous -r --slack 3 | grep validation
+  validation: OK

@@ -1,0 +1,266 @@
+(* Tests for BI-CRIT CONTINUOUS: closed forms (R1), their agreement
+   with the convex solver (R2), and structural properties of the
+   optimum. *)
+
+let check_float tol = Alcotest.(check (float tol))
+
+let fmin = 0.01 (* effectively unconstrained from below *)
+let fmax = 10.
+
+let solve_dag mapping ~deadline =
+  let n = Dag.n (Mapping.dag mapping) in
+  Bicrit_continuous.solve_general ~lo:(Array.make n fmin) ~hi:(Array.make n fmax)
+    ~deadline mapping
+
+let test_chain_closed_form () =
+  match Bicrit_continuous.chain ~weights:[| 1.; 2.; 3. |] ~deadline:12. ~fmin ~fmax with
+  | None -> Alcotest.fail "feasible"
+  | Some { speeds; energy } ->
+    Array.iter (fun f -> check_float 1e-12 "uniform speed" 0.5 f) speeds;
+    check_float 1e-12 "energy = W³/D² shape" (6. *. 0.25) energy
+
+let test_chain_infeasible () =
+  Alcotest.(check bool) "too tight" true
+    (Bicrit_continuous.chain ~weights:[| 10. |] ~deadline:0.5 ~fmin ~fmax:1. = None)
+
+let test_chain_fmin_clamp () =
+  (* loose deadline: speed clamps at fmin, deadline not tight *)
+  match Bicrit_continuous.chain ~weights:[| 1. |] ~deadline:1000. ~fmin:0.5 ~fmax:1. with
+  | Some { speeds; _ } -> check_float 1e-12 "clamped at fmin" 0.5 speeds.(0)
+  | None -> Alcotest.fail "feasible"
+
+let test_fork_theorem_formula () =
+  (* the paper's fork theorem, unclamped regime *)
+  let root = 1. and children = [| 1.; 2.; 2. |] in
+  let deadline = 10. in
+  let w3 = Float.cbrt (1. +. 8. +. 8.) in
+  match Bicrit_continuous.fork_speeds ~root ~children ~deadline ~fmax with
+  | None -> Alcotest.fail "feasible"
+  | Some { speeds; energy } ->
+    check_float 1e-12 "f0" ((w3 +. 1.) /. 10.) speeds.(0);
+    check_float 1e-12 "f1 proportional" (speeds.(0) *. 1. /. w3) speeds.(1);
+    check_float 1e-12 "f2 proportional" (speeds.(0) *. 2. /. w3) speeds.(2);
+    check_float 1e-10 "energy matches closed form"
+      (Bicrit_continuous.fork_energy ~root ~children ~deadline)
+      energy
+
+let test_fork_fmax_saturated () =
+  (* tight deadline forces the source to fmax *)
+  let root = 5. and children = [| 1.; 1. |] in
+  let deadline = 6. in
+  match Bicrit_continuous.fork_speeds ~root ~children ~deadline ~fmax:1. with
+  | None -> Alcotest.fail "feasible"
+  | Some { speeds; _ } ->
+    check_float 1e-12 "source at fmax" 1. speeds.(0);
+    (* children run at w/(D - w0/fmax) = 1/(6 - 5) = 1 *)
+    check_float 1e-12 "children fill window" 1. speeds.(1)
+
+let test_fork_infeasible () =
+  Alcotest.(check bool) "no window" true
+    (Bicrit_continuous.fork_speeds ~root:5. ~children:[| 1. |] ~deadline:4. ~fmax:1. = None)
+
+let test_fork_matches_solver () =
+  let rng = Es_util.Rng.create ~seed:31 in
+  for _ = 1 to 5 do
+    let n = 2 + Es_util.Rng.int rng 6 in
+    let dag = Generators.fork rng ~n ~wlo:0.5 ~whi:4. in
+    let root = Dag.weight dag 0 in
+    let children = Array.init n (fun i -> Dag.weight dag (i + 1)) in
+    let deadline = Es_util.Rng.uniform_in rng 5. 15. in
+    let mapping = Mapping.one_task_per_proc dag in
+    match
+      ( Bicrit_continuous.fork_speeds ~root ~children ~deadline ~fmax,
+        solve_dag mapping ~deadline )
+    with
+    | Some cf, Some nm ->
+      Alcotest.(check bool)
+        (Printf.sprintf "energies agree (%g vs %g)" cf.energy nm.energy)
+        true
+        (Float.abs (cf.energy -. nm.energy) < 1e-5 *. cf.energy)
+    | None, None -> ()
+    | _ -> Alcotest.fail "feasibility disagreement"
+  done
+
+let test_sp_equivalent_weight_energy () =
+  (* E = Weq³ / D² for SP graphs, checked against the numeric solver *)
+  let rng = Es_util.Rng.create ~seed:32 in
+  for _ = 1 to 5 do
+    let sp = Generators.random_sp rng ~n:(2 + Es_util.Rng.int rng 8) ~wlo:0.5 ~whi:3. in
+    let deadline = Es_util.Rng.uniform_in rng 8. 20. in
+    let weq = Bicrit_continuous.sp_equivalent_weight sp in
+    let closed = weq ** 3. /. (deadline *. deadline) in
+    let dag = Sp.to_dag sp in
+    let mapping = Mapping.one_task_per_proc dag in
+    match solve_dag mapping ~deadline with
+    | None -> Alcotest.fail "feasible by construction"
+    | Some { energy; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Weq³/D² = %g vs solver %g" closed energy)
+        true
+        (Float.abs (closed -. energy) < 1e-4 *. closed)
+  done
+
+let test_sp_speeds_meet_deadline_and_energy () =
+  let rng = Es_util.Rng.create ~seed:33 in
+  for _ = 1 to 5 do
+    let sp = Generators.random_sp rng ~n:(2 + Es_util.Rng.int rng 8) ~wlo:0.5 ~whi:3. in
+    let deadline = Es_util.Rng.uniform_in rng 8. 20. in
+    let { Bicrit_continuous.speeds; energy } = Bicrit_continuous.sp_speeds sp ~deadline in
+    let dag = Sp.to_dag sp in
+    let durations = Array.mapi (fun i f -> Dag.weight dag i /. f) speeds in
+    let cp = Dag.critical_path_length dag ~durations in
+    Alcotest.(check bool) "deadline met" true (cp <= deadline *. (1. +. 1e-9));
+    let weq = Bicrit_continuous.sp_equivalent_weight sp in
+    check_float (1e-9 *. energy) "energy = Weq³/D²" (weq ** 3. /. (deadline *. deadline)) energy
+  done
+
+let test_solver_monotone_in_deadline () =
+  let rng = Es_util.Rng.create ~seed:34 in
+  let dag = Generators.random_layered rng ~layers:4 ~width:3 ~density:0.5 ~wlo:1. ~whi:3. in
+  let mapping = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
+  let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
+  let energies =
+    List.filter_map
+      (fun slack ->
+        Option.map (fun (r : Bicrit_continuous.result) -> r.energy)
+          (solve_dag mapping ~deadline:(slack *. dmin)))
+      [ 1.05; 1.3; 1.8; 2.5; 4. ]
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> b <= a +. 1e-9 && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check int) "all feasible" 5 (List.length energies);
+  Alcotest.(check bool) "energy decreasing in deadline" true (decreasing energies)
+
+let test_solver_beats_uniform () =
+  (* optimal energy must be <= running everything at the single speed
+     that exactly meets the deadline *)
+  let rng = Es_util.Rng.create ~seed:35 in
+  let dag = Generators.random_layered rng ~layers:5 ~width:3 ~density:0.4 ~wlo:1. ~whi:3. in
+  let mapping = List_sched.schedule dag ~p:3 ~priority:List_sched.Bottom_level in
+  let dmin = List_sched.makespan_at_speed mapping ~f:1. in
+  let deadline = 1.5 *. dmin in
+  (* uniform speed meeting D exactly: f = dmin/deadline · 1 *)
+  let f_uniform = dmin /. deadline in
+  let uniform_energy = Dag.total_weight dag *. f_uniform *. f_uniform in
+  match solve_dag mapping ~deadline with
+  | None -> Alcotest.fail "feasible"
+  | Some { energy; _ } ->
+    Alcotest.(check bool) "no worse than uniform" true (energy <= uniform_energy *. (1. +. 1e-6))
+
+let test_solver_infeasible_detected () =
+  let rng = Es_util.Rng.create ~seed:36 in
+  let dag = Generators.chain rng ~n:4 ~wlo:1. ~whi:2. in
+  let mapping = Mapping.single_processor dag in
+  Alcotest.(check bool) "too tight" true
+    (solve_dag mapping ~deadline:(0.5 *. Dag.total_weight dag /. fmax) = None)
+
+let test_solver_speeds_within_bounds () =
+  let rng = Es_util.Rng.create ~seed:37 in
+  let dag = Generators.random_layered rng ~layers:4 ~width:4 ~density:0.4 ~wlo:1. ~whi:3. in
+  let mapping = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
+  let n = Dag.n dag in
+  let lo = Array.make n 0.3 and hi = Array.make n 0.9 in
+  let dmin =
+    Dag.critical_path_length (Mapping.constraint_dag mapping)
+      ~durations:(Array.map (fun w -> w /. 0.9) (Dag.weights dag))
+  in
+  match Bicrit_continuous.solve_general ~lo ~hi ~deadline:(2. *. dmin) mapping with
+  | None -> Alcotest.fail "feasible"
+  | Some { speeds; _ } ->
+    Array.iter
+      (fun f -> Alcotest.(check bool) "within [0.3, 0.9]" true (f >= 0.3 -. 1e-9 && f <= 0.9 +. 1e-9))
+      speeds
+
+let test_effective_weights_model_reexecution () =
+  (* doubling a weight doubles its duration at equal speed: the
+     schedule with eff weight 2w must take the re-execution time into
+     account *)
+  let dag = Dag.make ?labels:None ~weights:[| 2.; 2. |] ~edges:[ (0, 1) ] in
+  let mapping = Mapping.single_processor dag in
+  let eff = [| 4.; 2. |] in
+  let lo = Array.make 2 fmin and hi = Array.make 2 1. in
+  (* time needed at fmax: (4 + 2)/1 = 6 *)
+  Alcotest.(check bool) "infeasible below 6" true
+    (Bicrit_continuous.solve_general ~eff_weights:eff ~lo ~hi ~deadline:5.9 mapping = None);
+  Alcotest.(check bool) "feasible at 6+" true
+    (Bicrit_continuous.solve_general ~eff_weights:eff ~lo ~hi ~deadline:6.01 mapping <> None)
+
+let test_lower_bound_below_feasible_solutions () =
+  let rng = Es_util.Rng.create ~seed:38 in
+  let dag = Generators.random_layered rng ~layers:4 ~width:3 ~density:0.4 ~wlo:1. ~whi:3. in
+  let mapping = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
+  let dmin = List_sched.makespan_at_speed mapping ~f:1. in
+  let deadline = 2. *. dmin in
+  let lb = Bicrit_continuous.energy_lower_bound ~deadline ~fmin:0.2 ~fmax:1. mapping in
+  (* any uniform-speed feasible schedule is above the bound *)
+  let f = Float.max 0.2 (dmin /. deadline) in
+  let uniform = Dag.total_weight dag *. f *. f in
+  Alcotest.(check bool) "lb <= uniform" true (lb <= uniform *. (1. +. 1e-9))
+
+let qcheck_chain_energy_formula =
+  QCheck.Test.make ~name:"chain energy = (Σw)³/D² when unclamped" ~count:100
+    QCheck.(pair (list_of_size Gen.(1 -- 10) (float_range 0.5 3.)) (float_range 20. 60.))
+    (fun (ws, deadline) ->
+      QCheck.assume (ws <> []);
+      let weights = Array.of_list ws in
+      match Bicrit_continuous.chain ~weights ~deadline ~fmin:0.001 ~fmax:100. with
+      | None -> false
+      | Some { energy; _ } ->
+        let total = Array.fold_left ( +. ) 0. weights in
+        Float.abs (energy -. (total ** 3. /. (deadline *. deadline))) < 1e-6 *. energy)
+
+let suite =
+  ( "bicrit-continuous",
+    [
+      Alcotest.test_case "chain closed form" `Quick test_chain_closed_form;
+      Alcotest.test_case "chain infeasible" `Quick test_chain_infeasible;
+      Alcotest.test_case "chain fmin clamp" `Quick test_chain_fmin_clamp;
+      Alcotest.test_case "fork theorem formula" `Quick test_fork_theorem_formula;
+      Alcotest.test_case "fork fmax saturated" `Quick test_fork_fmax_saturated;
+      Alcotest.test_case "fork infeasible" `Quick test_fork_infeasible;
+      Alcotest.test_case "fork matches solver" `Slow test_fork_matches_solver;
+      Alcotest.test_case "sp eq-weight energy vs solver" `Slow test_sp_equivalent_weight_energy;
+      Alcotest.test_case "sp speeds meet deadline" `Quick test_sp_speeds_meet_deadline_and_energy;
+      Alcotest.test_case "solver monotone in deadline" `Slow test_solver_monotone_in_deadline;
+      Alcotest.test_case "solver beats uniform" `Quick test_solver_beats_uniform;
+      Alcotest.test_case "solver infeasible detected" `Quick test_solver_infeasible_detected;
+      Alcotest.test_case "solver respects bounds" `Quick test_solver_speeds_within_bounds;
+      Alcotest.test_case "effective weights = re-execution time" `Quick
+        test_effective_weights_model_reexecution;
+      Alcotest.test_case "lower bound sanity" `Quick test_lower_bound_below_feasible_solutions;
+      QCheck_alcotest.to_alcotest qcheck_chain_energy_formula;
+    ] )
+
+let qcheck_solve_general_fuzz =
+  QCheck.Test.make ~name:"solve_general outputs always feasible and bounded" ~count:30
+    QCheck.(triple (int_bound 100_000) (int_range 1 4) (float_range 1.05 3.))
+    (fun (seed, p, slack) ->
+      let rng = Es_util.Rng.create ~seed in
+      let dag =
+        Generators.random_layered rng ~layers:(2 + Es_util.Rng.int rng 3) ~width:3
+          ~density:0.5 ~wlo:0.5 ~whi:3.
+      in
+      let m = List_sched.schedule dag ~p ~priority:List_sched.Bottom_level in
+      let dmin = List_sched.makespan_at_speed m ~f:1. in
+      let deadline = slack *. dmin in
+      let n = Dag.n dag in
+      match
+        Bicrit_continuous.solve_general ~lo:(Array.make n 0.2) ~hi:(Array.make n 1.)
+          ~deadline m
+      with
+      | None -> false (* slack > 1: must be feasible *)
+      | Some { speeds; energy } ->
+        let bounds_ok =
+          Array.for_all (fun f -> f >= 0.2 -. 1e-9 && f <= 1. +. 1e-9) speeds
+        in
+        let durations = Array.mapi (fun i f -> Dag.weight dag i /. f) speeds in
+        let ms =
+          Dag.critical_path_length (Mapping.constraint_dag m) ~durations
+        in
+        let uniform_f = Float.max 0.2 (dmin /. deadline) in
+        let uniform_e = Dag.total_weight dag *. uniform_f *. uniform_f in
+        bounds_ok && ms <= deadline *. (1. +. 1e-6) && energy <= uniform_e *. (1. +. 1e-6))
+
+let suite = (fst suite, snd suite @ [ QCheck_alcotest.to_alcotest qcheck_solve_general_fuzz ])

@@ -1,0 +1,273 @@
+(* Tests for the simplex solver and the LP problem builder, including a
+   brute-force cross-check on random small LPs: the simplex optimum
+   must match the best vertex found by enumerating constraint
+   intersections. *)
+
+module Simplex = Es_lp.Simplex
+module Problem = Es_lp.Problem
+
+let check_float = Alcotest.(check (float 1e-7))
+
+let constr coeffs relation rhs = { Simplex.coeffs; relation; rhs }
+
+let test_simple_min () =
+  (* min x + y  s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0.
+     Optimum at intersection: x = 8/5, y = 6/5, value 14/5. *)
+  match
+    Simplex.solve ~obj:[| 1.; 1. |]
+      [ constr [| 1.; 2. |] Simplex.Ge 4.; constr [| 3.; 1. |] Simplex.Ge 6. ]
+  with
+  | Simplex.Optimal { objective; solution } ->
+    check_float "objective" 2.8 objective;
+    check_float "x" 1.6 solution.(0);
+    check_float "y" 1.2 solution.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_le_only () =
+  (* min -x - 2y s.t. x + y <= 4, y <= 3 → x=1,y=3, value -7 *)
+  match
+    Simplex.solve ~obj:[| -1.; -2. |]
+      [ constr [| 1.; 1. |] Simplex.Le 4.; constr [| 0.; 1. |] Simplex.Le 3. ]
+  with
+  | Simplex.Optimal { objective; _ } -> check_float "objective" (-7.) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_equality () =
+  (* min x + 3y s.t. x + y = 2 → x=2, y=0 *)
+  match Simplex.solve ~obj:[| 1.; 3. |] [ constr [| 1.; 1. |] Simplex.Eq 2. ] with
+  | Simplex.Optimal { objective; solution } ->
+    check_float "objective" 2. objective;
+    check_float "y stays 0" 0. solution.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_infeasible () =
+  match
+    Simplex.solve ~obj:[| 1. |]
+      [ constr [| 1. |] Simplex.Ge 3.; constr [| 1. |] Simplex.Le 1. ]
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  match Simplex.solve ~obj:[| -1. |] [ constr [| -1. |] Simplex.Le 0. ] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs_normalised () =
+  (* x >= 2 written as -x <= -2 *)
+  match Simplex.solve ~obj:[| 1. |] [ constr [| -1. |] Simplex.Le (-2.) ] with
+  | Simplex.Optimal { objective; _ } -> check_float "objective" 2. objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_degenerate_terminates () =
+  (* classic degeneracy: redundant constraints through the optimum *)
+  match
+    Simplex.solve ~obj:[| -1.; -1. |]
+      [
+        constr [| 1.; 0. |] Simplex.Le 1.;
+        constr [| 0.; 1. |] Simplex.Le 1.;
+        constr [| 1.; 1. |] Simplex.Le 2.;
+        constr [| 2.; 2. |] Simplex.Le 4.;
+      ]
+  with
+  | Simplex.Optimal { objective; _ } -> check_float "objective" (-2.) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Brute-force LP reference: enumerate all choices of n constraints
+   (from rows plus axes), solve the linear system, keep feasible points,
+   return the best objective.  Sound for bounded non-degenerate LPs. *)
+let brute_force ~obj rows =
+  let n = Array.length obj in
+  let planes =
+    (* each row as (coeffs, rhs) equality candidate; plus axes x_i = 0 *)
+    List.map (fun (r : Simplex.constr) -> (r.coeffs, r.rhs)) rows
+    @ List.init n (fun i -> (Array.init n (fun j -> if i = j then 1. else 0.), 0.))
+  in
+  let planes = Array.of_list planes in
+  let m = Array.length planes in
+  let best = ref None in
+  let feasible x =
+    Array.for_all (fun v -> v >= -1e-7) x
+    && List.for_all
+         (fun (r : Simplex.constr) ->
+           let lhs = ref 0. in
+           Array.iteri (fun i c -> lhs := !lhs +. (c *. x.(i))) r.coeffs;
+           match r.relation with
+           | Simplex.Le -> !lhs <= r.rhs +. 1e-7
+           | Simplex.Ge -> !lhs >= r.rhs -. 1e-7
+           | Simplex.Eq -> Float.abs (!lhs -. r.rhs) <= 1e-7)
+         rows
+  in
+  let rec choose k start acc =
+    if k = 0 then begin
+      let a = Array.of_list (List.rev_map (fun i -> Array.copy (fst planes.(i))) acc) in
+      let b = Array.of_list (List.rev_map (fun i -> snd planes.(i)) acc) in
+      match Es_linalg.Mat.solve a b with
+      | x when feasible x ->
+        let v = ref 0. in
+        Array.iteri (fun i c -> v := !v +. (c *. x.(i))) obj;
+        (match !best with
+        | Some bv when bv <= !v -> ()
+        | _ -> best := Some !v)
+      | _ -> ()
+      | exception Es_linalg.Mat.Singular -> ()
+    end
+    else
+      for i = start to m - 1 do
+        choose (k - 1) (i + 1) (i :: acc)
+      done
+  in
+  choose n 0 [];
+  !best
+
+let qcheck_simplex_matches_brute_force =
+  QCheck.Test.make ~name:"simplex matches vertex enumeration" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Es_util.Rng.create ~seed in
+      let n = 2 + Es_util.Rng.int rng 2 in
+      let m = 2 + Es_util.Rng.int rng 3 in
+      (* keep the polytope bounded with a box row, keep costs positive *)
+      let rows =
+        List.init m (fun _ ->
+            let coeffs = Array.init n (fun _ -> Es_util.Rng.uniform_in rng 0.1 2.) in
+            constr coeffs Simplex.Ge (Es_util.Rng.uniform_in rng 0.5 4.))
+      in
+      let obj = Array.init n (fun _ -> Es_util.Rng.uniform_in rng 0.2 2.) in
+      match (Simplex.solve ~obj rows, brute_force ~obj rows) with
+      | Simplex.Optimal { objective; _ }, Some bf -> Float.abs (objective -. bf) < 1e-5
+      | Simplex.Infeasible, None -> true
+      | _ -> false)
+
+let test_problem_builder () =
+  let lp = Problem.create () in
+  let x = Problem.var lp ~obj:2. "x" in
+  let y = Problem.var lp ~obj:3. "y" in
+  Problem.ge lp [ (1., x); (1., y) ] 10.;
+  Problem.le lp [ (1., x) ] 4.;
+  (* min 2x + 3y, x+y >= 10, x <= 4 → x=4, y=6, value 26 *)
+  match Problem.solve lp with
+  | Problem.Solution s ->
+    check_float "objective" 26. (Problem.objective s);
+    check_float "x" 4. (Problem.value s x);
+    check_float "y" 6. (Problem.value s y)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_upper_bound () =
+  let lp = Problem.create () in
+  let x = Problem.var lp ~obj:(-1.) "x" in
+  Problem.upper_bound lp x 7.;
+  match Problem.solve lp with
+  | Problem.Solution s -> check_float "x at bound" 7. (Problem.value s x)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_obj_coeff_update () =
+  let lp = Problem.create () in
+  let x = Problem.var lp ~obj:1. "x" in
+  let y = Problem.var lp ~obj:1. "y" in
+  Problem.obj_coeff lp x (-2.);
+  Problem.upper_bound lp x 3.;
+  Problem.upper_bound lp y 3.;
+  (* min -2x + y → x = 3, y = 0 *)
+  match Problem.solve lp with
+  | Problem.Solution s ->
+    check_float "objective" (-6.) (Problem.objective s);
+    check_float "x" 3. (Problem.value s x)
+  | _ -> Alcotest.fail "expected solution"
+
+let test_problem_counts () =
+  let lp = Problem.create () in
+  let x = Problem.var lp "x" in
+  Problem.le lp [ (1., x) ] 1.;
+  Problem.ge lp [ (1., x) ] 0.;
+  Alcotest.(check int) "vars" 1 (Problem.n_vars lp);
+  Alcotest.(check int) "rows" 2 (Problem.n_constraints lp)
+
+let suite =
+  ( "lp",
+    [
+      Alcotest.test_case "simple minimisation" `Quick test_simple_min;
+      Alcotest.test_case "le-only problem" `Quick test_le_only;
+      Alcotest.test_case "equality row" `Quick test_equality;
+      Alcotest.test_case "infeasible detected" `Quick test_infeasible;
+      Alcotest.test_case "unbounded detected" `Quick test_unbounded;
+      Alcotest.test_case "negative rhs normalised" `Quick test_negative_rhs_normalised;
+      Alcotest.test_case "degenerate instance terminates" `Quick test_degenerate_terminates;
+      QCheck_alcotest.to_alcotest qcheck_simplex_matches_brute_force;
+      Alcotest.test_case "problem builder" `Quick test_problem_builder;
+      Alcotest.test_case "problem upper bound" `Quick test_problem_upper_bound;
+      Alcotest.test_case "problem obj update" `Quick test_problem_obj_coeff_update;
+      Alcotest.test_case "problem counts" `Quick test_problem_counts;
+    ] )
+
+(* --- duals ----------------------------------------------------------- *)
+
+let test_duals_simple () =
+  (* min x + y s.t. x + 2y >= 4, 3x + y >= 6: optimum (1.6, 1.2).
+     Duals solve: y1 + 3y2 = 1, 2y1 + y2 = 1 → y1 = 0.4, y2 = 0.2. *)
+  match
+    Simplex.solve ?max_iters:None ~obj:[| 1.; 1. |]
+      [ constr [| 1.; 2. |] Simplex.Ge 4.; constr [| 3.; 1. |] Simplex.Ge 6. ]
+  with
+  | Simplex.Optimal { duals; _ } ->
+    check_float "dual 1" 0.4 duals.(0);
+    check_float "dual 2" 0.2 duals.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_duals_nonbinding_row_zero () =
+  (* min x s.t. x >= 2, x <= 100 — the upper bound is slack *)
+  match
+    Simplex.solve ?max_iters:None ~obj:[| 1. |]
+      [ constr [| 1. |] Simplex.Ge 2.; constr [| 1. |] Simplex.Le 100. ]
+  with
+  | Simplex.Optimal { duals; _ } ->
+    check_float "binding" 1. duals.(0);
+    check_float "slack row" 0. duals.(1)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_duals_equality () =
+  (* min 2x + 3y s.t. x + y = 5 → all mass on x, dual = 2 *)
+  match Simplex.solve ?max_iters:None ~obj:[| 2.; 3. |] [ constr [| 1.; 1. |] Simplex.Eq 5. ] with
+  | Simplex.Optimal { duals; _ } -> check_float "eq dual" 2. duals.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let qcheck_duals_predict_rhs_perturbation =
+  (* finite-difference check: objective(b + h) − objective(b) ≈ y·h for
+     a small perturbation of one ≥ row *)
+  QCheck.Test.make ~name:"duals = dObj/dRhs (finite differences)" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Es_util.Rng.create ~seed in
+      let n = 2 + Es_util.Rng.int rng 2 in
+      let rows b0 =
+        List.init 3 (fun k ->
+            let coeffs =
+              Array.init n (fun j ->
+                  (* deterministic per (seed, k, j): rebuild from a fresh
+                     stream so both solves see identical rows *)
+                  let r = Es_util.Rng.create ~seed:((seed * 31) + (k * 7) + j) in
+                  Es_util.Rng.uniform_in r 0.2 2.)
+            in
+            constr coeffs Simplex.Ge (if k = 0 then b0 else 3.))
+      in
+      let obj =
+        Array.init n (fun j ->
+            let r = Es_util.Rng.create ~seed:((seed * 17) + j) in
+            Es_util.Rng.uniform_in r 0.5 2.)
+      in
+      let h = 1e-5 in
+      match (Simplex.solve ?max_iters:None ~obj (rows 3.), Simplex.solve ?max_iters:None ~obj (rows (3. +. h))) with
+      | Simplex.Optimal { objective = o1; duals; _ }, Simplex.Optimal { objective = o2; _ }
+        ->
+        Float.abs (o2 -. o1 -. (duals.(0) *. h)) < 1e-7
+      | _ -> false)
+
+let duals_cases =
+  [
+    Alcotest.test_case "duals simple" `Quick test_duals_simple;
+    Alcotest.test_case "duals nonbinding zero" `Quick test_duals_nonbinding_row_zero;
+    Alcotest.test_case "duals equality" `Quick test_duals_equality;
+    QCheck_alcotest.to_alcotest qcheck_duals_predict_rhs_perturbation;
+  ]
+
+let suite = (fst suite, snd suite @ duals_cases)

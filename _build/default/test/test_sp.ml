@@ -1,0 +1,101 @@
+(* Tests for series-parallel graphs: composition, expansion to DAGs,
+   recognition, and the equivalent-weight recursion. *)
+
+let check_float tol = Alcotest.(check (float tol))
+
+let test_builders () =
+  let c = Sp.chain [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "chain leaves" 3 (Sp.n_tasks c);
+  check_float 1e-12 "chain weight" 6. (Sp.total_weight c);
+  let f = Sp.fork ~root:1. [| 2.; 3. |] in
+  Alcotest.(check int) "fork leaves" 3 (Sp.n_tasks f)
+
+let test_weights_order () =
+  let t = Sp.Series (Sp.leaf 1., Sp.Parallel (Sp.leaf 2., Sp.leaf 3.)) in
+  Alcotest.(check (array (float 1e-12))) "left-to-right" [| 1.; 2.; 3. |] (Sp.weights t)
+
+let test_to_dag_chain () =
+  let d = Sp.to_dag (Sp.chain [| 1.; 2.; 3. |]) in
+  Alcotest.(check int) "edges" 2 (Dag.n_edges d);
+  Alcotest.(check bool) "0->1" true (Dag.is_edge d 0 1);
+  Alcotest.(check bool) "1->2" true (Dag.is_edge d 1 2)
+
+let test_to_dag_fork () =
+  let d = Sp.to_dag (Sp.fork ~root:1. [| 2.; 3.; 4. |]) in
+  Alcotest.(check (list int)) "source" [ 0 ] (Dag.sources d);
+  Alcotest.(check int) "3 sinks" 3 (List.length (Dag.sinks d));
+  Alcotest.(check int) "edges" 3 (Dag.n_edges d)
+
+let test_to_dag_series_complete_bipartite () =
+  (* (a | b) ; (c | d): edges = 4 (each of a,b to each of c,d) *)
+  let t =
+    Sp.Series
+      (Sp.Parallel (Sp.leaf 1., Sp.leaf 2.), Sp.Parallel (Sp.leaf 3., Sp.leaf 4.))
+  in
+  let d = Sp.to_dag t in
+  Alcotest.(check int) "complete bipartite join" 4 (Dag.n_edges d)
+
+let test_of_dag_chain () =
+  let d = Sp.to_dag (Sp.chain [| 1.; 2.; 3. |]) in
+  match Sp.of_dag d with
+  | None -> Alcotest.fail "chain should be recognised"
+  | Some sp -> Alcotest.(check int) "same size" 3 (Sp.n_tasks sp)
+
+let test_of_dag_rejects_non_sp () =
+  (* the "N" graph is the canonical non-SP example:
+     a->c, a->d, b->d (b has no edge to c) *)
+  let d =
+    Dag.make ?labels:None ~weights:[| 1.; 1.; 1.; 1. |]
+      ~edges:[ (0, 2); (0, 3); (1, 3) ]
+  in
+  Alcotest.(check bool) "N graph rejected" true (Sp.of_dag d = None)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"of_dag recognises every generated SP graph" ~count:100
+    QCheck.(pair (int_bound 100_000) (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Es_util.Rng.create ~seed in
+      let sp = Generators.random_sp rng ~n ~wlo:1. ~whi:5. in
+      match Sp.of_dag (Sp.to_dag sp) with
+      | None -> false
+      | Some sp' ->
+        (* recognition may re-associate; compare the invariant the core
+           library consumes: the equivalent weight and the leaf count *)
+        Sp.n_tasks sp' = Sp.n_tasks sp
+        && Float.abs
+             (Bicrit_continuous.sp_equivalent_weight sp'
+             -. Bicrit_continuous.sp_equivalent_weight sp)
+           < 1e-6 *. Sp.total_weight sp)
+
+let test_equivalent_weight_chain () =
+  (* series composition adds *)
+  check_float 1e-12 "chain eq weight" 6.
+    (Bicrit_continuous.sp_equivalent_weight (Sp.chain [| 1.; 2.; 3. |]))
+
+let test_equivalent_weight_fork () =
+  (* fork: w0 + (Σ wᵢ³)^(1/3) *)
+  let sp = Sp.fork ~root:2. [| 1.; 1. |] in
+  check_float 1e-12 "fork eq weight"
+    (2. +. Float.cbrt 2.)
+    (Bicrit_continuous.sp_equivalent_weight sp)
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a" Sp.pp (Sp.fork ~root:1. [| 2.; 3. |]) in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0)
+
+let suite =
+  ( "sp",
+    [
+      Alcotest.test_case "builders" `Quick test_builders;
+      Alcotest.test_case "weights order" `Quick test_weights_order;
+      Alcotest.test_case "to_dag chain" `Quick test_to_dag_chain;
+      Alcotest.test_case "to_dag fork" `Quick test_to_dag_fork;
+      Alcotest.test_case "series joins complete bipartite" `Quick
+        test_to_dag_series_complete_bipartite;
+      Alcotest.test_case "of_dag chain" `Quick test_of_dag_chain;
+      Alcotest.test_case "of_dag rejects N graph" `Quick test_of_dag_rejects_non_sp;
+      QCheck_alcotest.to_alcotest qcheck_roundtrip;
+      Alcotest.test_case "eq weight: chain" `Quick test_equivalent_weight_chain;
+      Alcotest.test_case "eq weight: fork" `Quick test_equivalent_weight_fork;
+      Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+    ] )

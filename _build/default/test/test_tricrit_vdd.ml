@@ -1,0 +1,132 @@
+(* Tests for TRI-CRIT under VDD-HOPPING (R11): the fixed-subset LP,
+   exhaustive search, and the continuous-heuristic bridge. *)
+
+let rel = Rel.make ~lambda0:1e-5 ~sensitivity:3. ~fmin:0.2 ~fmax:1.0 ~frel:0.8 ()
+let levels = [| 0.2; 0.4; 0.6; 0.8; 1.0 |]
+let model = Speed.vdd_hopping levels
+
+let small_instance ~seed =
+  let rng = Es_util.Rng.create ~seed in
+  let dag = Generators.chain rng ~n:5 ~wlo:0.5 ~whi:2. in
+  let m = Mapping.single_processor dag in
+  (m, Dag.total_weight dag)
+
+let test_empty_subset_is_bicrit_with_floor () =
+  let m, dmin = small_instance ~seed:301 in
+  let deadline = 2. *. dmin in
+  let n = Dag.n (Mapping.dag m) in
+  match Tricrit_vdd.solve_subset ~rel ~deadline ~levels m ~subset:(Array.make n false) with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+    Alcotest.(check bool) "validator accepts" true
+      (Validate.is_feasible ~deadline ~rel ~model sol.Tricrit_vdd.schedule);
+    (* no task may dip below frel on average: energy at least Σ w·frel²
+       is NOT required pointwise under hopping, but the failure budget
+       keeps the mix near frel, so energy >= 0.95·Σ w·0.64 *)
+    let floor_energy = 0.64 *. Dag.total_weight (Mapping.dag m) in
+    Alcotest.(check bool) "energy near frel floor" true
+      (sol.Tricrit_vdd.energy >= 0.9 *. floor_energy)
+
+let test_exact_feasible_and_validates () =
+  let m, dmin = small_instance ~seed:302 in
+  List.iter
+    (fun slack ->
+      let deadline = slack *. dmin in
+      match Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline ~levels m with
+      | None -> Alcotest.failf "feasible at slack %.1f" slack
+      | Some sol ->
+        Alcotest.(check bool) "validator accepts" true
+          (Validate.is_feasible ~deadline ~rel ~model sol.Tricrit_vdd.schedule))
+    [ 1.1; 2.; 3.5 ]
+
+let test_exact_improves_with_slack () =
+  let m, dmin = small_instance ~seed:303 in
+  let energies =
+    List.filter_map
+      (fun slack ->
+        Option.map (fun (s : Tricrit_vdd.solution) -> s.energy)
+          (Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline:(slack *. dmin) ~levels m))
+      [ 1.1; 1.6; 2.4; 4. ]
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> b <= a +. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check int) "all feasible" 4 (List.length energies);
+  Alcotest.(check bool) "monotone" true (non_increasing energies)
+
+let test_reexec_engages_under_vdd () =
+  let m, dmin = small_instance ~seed:304 in
+  match Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline:(4. *. dmin) ~levels m with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+    Alcotest.(check bool) "re-execution used" true
+      (Array.exists Fun.id sol.Tricrit_vdd.reexecuted)
+
+let test_heuristic_close_to_exact () =
+  List.iter
+    (fun seed ->
+      let m, dmin = small_instance ~seed in
+      List.iter
+        (fun slack ->
+          let deadline = slack *. dmin in
+          match
+            ( Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline ~levels m,
+              Tricrit_vdd.solve_heuristic ~rel ~deadline ~levels m )
+          with
+          | Some e, Some h ->
+            Alcotest.(check bool)
+              (Printf.sprintf "heuristic within 25%% (slack %.1f: %.4f vs %.4f)" slack
+                 h.Tricrit_vdd.energy e.Tricrit_vdd.energy)
+              true
+              (h.Tricrit_vdd.energy <= e.Tricrit_vdd.energy *. 1.25 +. 1e-9)
+          | None, None -> ()
+          | Some _, None -> Alcotest.fail "heuristic lost a feasible instance"
+          | None, Some _ -> Alcotest.fail "heuristic claims infeasible instance")
+        [ 1.2; 2.5 ])
+    [ 305; 306 ]
+
+let test_vdd_tricrit_above_continuous_tricrit () =
+  (* discrete levels can only cost more than the continuous optimum *)
+  let m, dmin = small_instance ~seed:307 in
+  let deadline = 2.5 *. dmin in
+  match
+    (Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline ~levels m, Tricrit_chain.solve_exact ?max_n:None ~rel ~deadline m)
+  with
+  | Some vdd, Some cont ->
+    Alcotest.(check bool)
+      (Printf.sprintf "vdd %.4f >= continuous %.4f" vdd.Tricrit_vdd.energy
+         cont.Tricrit_chain.energy)
+      true
+      (* the equal-split restriction can cost a little; allow 1% slack
+         in the other direction only *)
+      (vdd.Tricrit_vdd.energy >= cont.Tricrit_chain.energy *. 0.99)
+  | _ -> Alcotest.fail "both feasible"
+
+let test_infeasible_detected () =
+  let m, dmin = small_instance ~seed:308 in
+  Alcotest.(check bool) "too tight" true
+    (Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline:(0.8 *. dmin) ~levels m = None)
+
+let test_max_n_guard () =
+  let rng = Es_util.Rng.create ~seed:309 in
+  let dag = Generators.chain rng ~n:14 ~wlo:1. ~whi:2. in
+  let m = Mapping.single_processor dag in
+  Alcotest.(check bool) "guard" true
+    (match Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline:100. ~levels m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  ( "tricrit-vdd",
+    [
+      Alcotest.test_case "empty subset = floored bicrit" `Quick
+        test_empty_subset_is_bicrit_with_floor;
+      Alcotest.test_case "exact validates" `Slow test_exact_feasible_and_validates;
+      Alcotest.test_case "exact monotone in slack" `Slow test_exact_improves_with_slack;
+      Alcotest.test_case "re-exec engages" `Slow test_reexec_engages_under_vdd;
+      Alcotest.test_case "heuristic close to exact" `Slow test_heuristic_close_to_exact;
+      Alcotest.test_case "vdd >= continuous" `Slow test_vdd_tricrit_above_continuous_tricrit;
+      Alcotest.test_case "infeasible detected" `Quick test_infeasible_detected;
+      Alcotest.test_case "max_n guard" `Quick test_max_n_guard;
+    ] )
