@@ -1,9 +1,20 @@
 (* Bechamel benchmarks: one Test.make per experiment table (E1..E12),
    measuring the cost of the algorithm that regenerates it.  Run with:
-   dune exec bench/main.exe *)
+   dune exec bench/main.exe
+
+   Besides the human-readable OLS table, the harness writes a
+   machine-readable baseline (default BENCH_PR1.json): every experiment
+   run once under Es_obs telemetry, recording wall time plus the
+   solver-work counters (LP solves, simplex pivots, Newton iterations,
+   subsets explored...).  Later perf PRs diff against this trajectory.
+
+     dune exec bench/main.exe                      # bechamel + JSON
+     dune exec bench/main.exe -- --json-only       # skip bechamel (CI smoke)
+     dune exec bench/main.exe -- --out other.json  # change the output path *)
 
 open Bechamel
 open Toolkit
+module Obs = Es_obs.Obs
 
 let fmin = 0.2
 let fmax = 1.0
@@ -62,86 +73,121 @@ let bounds m =
   let n = Dag.n (Mapping.dag m) in
   (Array.make n fmin, Array.make n fmax)
 
-let staged_exn name f =
-  Test.make ~name
-    (Staged.stage (fun () -> match f () with Some _ -> () | None -> failwith name))
+let expect_some name f () = match f () with Some _ -> () | None -> failwith name
 
-let tests =
+(* Every experiment as a named thunk: bechamel stages them for OLS
+   timing, the JSON baseline runs them once under telemetry. *)
+let experiments : (string * (unit -> unit)) list =
   [
     (* E1: fork closed form *)
-    Test.make ~name:"e1-fork-closed-form"
-      (Staged.stage (fun () ->
-           let root = Dag.weight fork_dag 0 in
-           let children = Array.init 16 (fun i -> Dag.weight fork_dag (i + 1)) in
-           ignore
-             (Bicrit_continuous.fork_speeds ~root ~children ~deadline:fork_deadline ~fmax)));
+    ( "e1-fork-closed-form",
+      fun () ->
+        let root = Dag.weight fork_dag 0 in
+        let children = Array.init 16 (fun i -> Dag.weight fork_dag (i + 1)) in
+        ignore
+          (Bicrit_continuous.fork_speeds ~root ~children ~deadline:fork_deadline ~fmax) );
     (* E1/E2: barrier convex solver *)
-    staged_exn "e1-barrier-solver" (fun () ->
-        let lo, hi = bounds fork_mapping in
-        Bicrit_continuous.solve_general ~lo ~hi ~deadline:fork_deadline fork_mapping);
+    ( "e1-barrier-solver",
+      expect_some "e1-barrier-solver" (fun () ->
+          let lo, hi = bounds fork_mapping in
+          Bicrit_continuous.solve_general ~lo ~hi ~deadline:fork_deadline fork_mapping) );
     (* E2: SP recursion *)
-    Test.make ~name:"e2-sp-recursion"
-      (Staged.stage (fun () ->
-           ignore (Bicrit_continuous.sp_speeds sp ~deadline:(2. *. Sp.total_weight sp))));
+    ( "e2-sp-recursion",
+      fun () ->
+        ignore (Bicrit_continuous.sp_speeds sp ~deadline:(2. *. Sp.total_weight sp)) );
     (* E3: VDD-HOPPING LP *)
-    staged_exn "e3-vdd-lp" (fun () ->
-        Bicrit_vdd.solve ~deadline:layered_deadline ~levels layered_mapping);
+    ( "e3-vdd-lp",
+      expect_some "e3-vdd-lp" (fun () ->
+          Bicrit_vdd.solve ~deadline:layered_deadline ~levels layered_mapping) );
     (* E4: incremental approximation *)
-    staged_exn "e4-incremental-approx" (fun () ->
-        Bicrit_incremental.approximate ~deadline:layered_deadline ~fmin ~fmax ~delta:0.1
-          layered_mapping);
+    ( "e4-incremental-approx",
+      expect_some "e4-incremental-approx" (fun () ->
+          Bicrit_incremental.approximate ~deadline:layered_deadline ~fmin ~fmax
+            ~delta:0.1 layered_mapping) );
     (* E5: discrete exact B&B *)
-    staged_exn "e5-discrete-bb" (fun () ->
-        Bicrit_discrete.solve_exact ?node_limit:None ~deadline:small_deadline ~levels
-          small_mapping);
+    ( "e5-discrete-bb",
+      expect_some "e5-discrete-bb" (fun () ->
+          Bicrit_discrete.solve_exact ?node_limit:None ~deadline:small_deadline ~levels
+            small_mapping) );
     (* E6: tri-crit chain greedy *)
-    staged_exn "e6-tricrit-chain-greedy" (fun () ->
-        Tricrit_chain.solve_greedy ~rel ~deadline:chain_deadline chain_mapping);
+    ( "e6-tricrit-chain-greedy",
+      expect_some "e6-tricrit-chain-greedy" (fun () ->
+          Tricrit_chain.solve_greedy ~rel ~deadline:chain_deadline chain_mapping) );
     (* E7: tri-crit fork polynomial algorithm *)
-    staged_exn "e7-tricrit-fork-poly" (fun () ->
-        Tricrit_fork.solve ?grid:None ~rel ~deadline:fork_deadline fork_dag);
+    ( "e7-tricrit-fork-poly",
+      expect_some "e7-tricrit-fork-poly" (fun () ->
+          Tricrit_fork.solve ?grid:None ~rel ~deadline:fork_deadline fork_dag) );
     (* E8: best-of heuristics *)
-    staged_exn "e8-heuristics-best-of" (fun () ->
-        Heuristics.best_of ~rel ~deadline:layered_deadline layered_mapping);
+    ( "e8-heuristics-best-of",
+      expect_some "e8-heuristics-best-of" (fun () ->
+          Heuristics.best_of ~rel ~deadline:layered_deadline layered_mapping) );
     (* E9: tri-crit vdd fixed-subset LP *)
-    staged_exn "e9-tricrit-vdd-lp" (fun () ->
-        let n = Dag.n (Mapping.dag vdd_chain_mapping) in
-        Tricrit_vdd.solve_subset ~rel ~deadline:vdd_chain_deadline ~levels
-          vdd_chain_mapping
-          ~subset:(Array.init n (fun i -> i mod 2 = 0)));
+    ( "e9-tricrit-vdd-lp",
+      expect_some "e9-tricrit-vdd-lp" (fun () ->
+          let n = Dag.n (Mapping.dag vdd_chain_mapping) in
+          Tricrit_vdd.solve_subset ~rel ~deadline:vdd_chain_deadline ~levels
+            vdd_chain_mapping
+            ~subset:(Array.init n (fun i -> i mod 2 = 0))) );
+    (* E9b: split refinement with the probe cache *)
+    ( "e9-tricrit-vdd-refine",
+      expect_some "e9-tricrit-vdd-refine" (fun () ->
+          let n = Dag.n (Mapping.dag vdd_chain_mapping) in
+          let subset = Array.init n (fun i -> i mod 2 = 0) in
+          match
+            Tricrit_vdd.solve_subset ~rel ~deadline:vdd_chain_deadline ~levels
+              vdd_chain_mapping ~subset
+          with
+          | None -> None
+          | Some sol ->
+            Some
+              (Tricrit_vdd.refine_splits ?rounds:None ?use_cache:None ~rel
+                 ~deadline:vdd_chain_deadline ~levels vdd_chain_mapping sol)) );
     (* E10: fault-injection simulator (1000 trials) *)
-    Test.make ~name:"e10-sim-1000-trials"
-      (Staged.stage (fun () ->
-           ignore
-             (Sim.monte_carlo (Es_util.Rng.create ~seed:8) ~rel ~trials:1000 sim_schedule)));
+    ( "e10-sim-1000-trials",
+      fun () ->
+        ignore
+          (Sim.monte_carlo (Es_util.Rng.create ~seed:8) ~rel ~trials:1000 sim_schedule)
+    );
     (* E11: list scheduling *)
-    Test.make ~name:"e11-list-scheduling"
-      (Staged.stage
-         (let rng = Es_util.Rng.create ~seed:9 in
-          let dag =
-            Generators.random_layered rng ~layers:6 ~width:5 ~density:0.4 ~wlo:1. ~whi:3.
-          in
-          fun () -> ignore (List_sched.schedule dag ~p:4 ~priority:List_sched.Bottom_level)));
+    ( "e11-list-scheduling",
+      let rng = Es_util.Rng.create ~seed:9 in
+      let dag =
+        Generators.random_layered rng ~layers:6 ~width:5 ~density:0.4 ~wlo:1. ~whi:3.
+      in
+      fun () -> ignore (List_sched.schedule dag ~p:4 ~priority:List_sched.Bottom_level) );
     (* E12: replication greedy *)
-    staged_exn "e12-replication-greedy" (fun () ->
-        Replication.solve_greedy ~rel ~deadline:repl_deadline ~weights:repl_weights);
+    ( "e12-replication-greedy",
+      expect_some "e12-replication-greedy" (fun () ->
+          Replication.solve_greedy ~rel ~deadline:repl_deadline ~weights:repl_weights) );
     (* E13: exact general-DAG tri-crit (2^n barrier solves, small n) *)
-    staged_exn "e13-tricrit-exact-n6" (fun () ->
-        Tricrit_exact.solve ?max_n:None ~rel ~deadline:vdd_chain_deadline
-          vdd_chain_mapping);
+    ( "e13-tricrit-exact-n6",
+      expect_some "e13-tricrit-exact-n6" (fun () ->
+          Tricrit_exact.solve ?max_n:None ~rel ~deadline:vdd_chain_deadline
+            vdd_chain_mapping) );
     (* E14: checkpointing segmentation *)
-    staged_exn "e14-checkpointing" (fun () ->
-        (* worst case re-runs every segment: needs more than 2x slack *)
-        Checkpointing.solve ?speed_grid:None ~rel ~checkpoint_work:0.2
-          ~deadline:(2. *. repl_deadline) ~weights:repl_weights);
+    ( "e14-checkpointing",
+      expect_some "e14-checkpointing" (fun () ->
+          (* worst case re-runs every segment: needs more than 2x slack *)
+          Checkpointing.solve ?speed_grid:None ~rel ~checkpoint_work:0.2
+            ~deadline:(2. *. repl_deadline) ~weights:repl_weights) );
     (* E15: static-power closed form *)
-    staged_exn "e15-power-ablation" (fun () ->
-        Power.ablation_penalty ~static:0.25 ~weights:repl_weights
-          ~deadline:repl_deadline ~fmin:0.05 ~fmax);
+    ( "e15-power-ablation",
+      expect_some "e15-power-ablation" (fun () ->
+          Power.ablation_penalty ~static:0.25 ~weights:repl_weights
+            ~deadline:repl_deadline ~fmin:0.05 ~fmax) );
     (* chain knapsack DP *)
-    staged_exn "e6-tricrit-chain-dp" (fun () ->
-        Tricrit_chain.solve_dp ?buckets:None ~rel ~deadline:chain_deadline chain_mapping);
+    ( "e6-tricrit-chain-dp",
+      expect_some "e6-tricrit-chain-dp" (fun () ->
+          Tricrit_chain.solve_dp ?buckets:None ~rel ~deadline:chain_deadline
+            chain_mapping) );
   ]
+
+let tests =
+  List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) experiments
+
+(* ------------------------------------------------------------------ *)
+(* bechamel OLS table                                                  *)
+(* ------------------------------------------------------------------ *)
 
 let benchmark () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -151,7 +197,7 @@ let benchmark () =
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   Analyze.merge ols instances results
 
-let () =
+let print_table () =
   let results = benchmark () in
   match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
   | None -> print_endline "no results"
@@ -175,3 +221,57 @@ let () =
     Es_util.Table.print
       ~caption:"Per-run cost of each experiment's core algorithm (OLS time estimate)"
       table
+
+(* ------------------------------------------------------------------ *)
+(* JSON baseline                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_json () =
+  let open Es_obs.Obs_json in
+  Obs.enable ();
+  let entries =
+    List.map
+      (fun (name, f) ->
+        Obs.reset ();
+        let t0 = Obs.now () in
+        f ();
+        let wall = Obs.now () -. t0 in
+        Obj
+          [
+            ("name", Str name);
+            ("wall_s", Num wall);
+            ("telemetry", Obs.to_json (Obs.snapshot ()));
+          ])
+      experiments
+  in
+  Obs.disable ();
+  Obs.reset ();
+  Obj
+    [
+      ("schema", Str "esched-bench/1");
+      ("baseline", Str "PR1");
+      ("runs_per_experiment", Num 1.);
+      ("experiments", List entries);
+    ]
+
+let write_baseline path =
+  let json = baseline_json () in
+  let oc = open_out path in
+  output_string oc (Es_obs.Obs_json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "baseline: wrote %s (%d experiments)\n" path (List.length experiments)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let json_only = List.mem "--json-only" argv in
+  let rec out_of = function
+    | [ "--out" ] ->
+      prerr_endline "bench: --out requires a path";
+      exit 2
+    | "--out" :: path :: _ -> path
+    | _ :: rest -> out_of rest
+    | [] -> "BENCH_PR1.json"
+  in
+  if not json_only then print_table ();
+  write_baseline (out_of argv)

@@ -8,6 +8,17 @@
      demo      — the full pipeline on one instance, with a Gantt chart *)
 
 module Rng = Es_util.Rng
+module Obs = Es_obs.Obs
+
+(* `--stats`: enable telemetry around the run, render it afterwards *)
+let with_stats stats f =
+  if stats then Obs.enable ();
+  let code = f () in
+  if stats then begin
+    print_newline ();
+    print_string (Obs.render_text (Obs.snapshot ()))
+  end;
+  code
 
 let fmin = 0.2
 let fmax = 1.0
@@ -72,7 +83,8 @@ let generate kind n seed dot =
 
 (* --- solve -------------------------------------------------------- *)
 
-let solve kind n seed p slack model_kind reliability gantt =
+let solve kind n seed p slack model_kind reliability gantt stats =
+  with_stats stats @@ fun () ->
   let dag = build_dag kind ~n ~seed in
   let mapping = List_sched.schedule dag ~p ~priority:List_sched.Bottom_level in
   let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
@@ -94,7 +106,7 @@ let solve kind n seed p slack model_kind reliability gantt =
          else None);
     }
   in
-  match Solver.solve ?exact_threshold:None request with
+  match Obs.with_span "solve" (fun () -> Solver.solve ?exact_threshold:None request) with
   | Error msg ->
     print_endline msg;
     1
@@ -109,7 +121,9 @@ let solve kind n seed p slack model_kind reliability gantt =
         Some (Rel.make ~lambda0:1e-5 ~sensitivity:3. ~fmin ~fmax ~frel:0.8 ())
       else None
     in
-    let violations = Validate.check ~deadline ?rel ~model sched in
+    let violations =
+      Obs.with_span "validate" (fun () -> Validate.check ~deadline ?rel ~model sched)
+    in
     if violations = [] then print_endline "validation: OK"
     else
       List.iter
@@ -120,19 +134,22 @@ let solve kind n seed p slack model_kind reliability gantt =
 
 (* --- simulate ------------------------------------------------------ *)
 
-let simulate kind n seed p slack trials lambda0 =
+let simulate kind n seed p slack trials lambda0 stats =
+  with_stats stats @@ fun () ->
   let dag = build_dag kind ~n ~seed in
   let mapping = List_sched.schedule dag ~p ~priority:List_sched.Bottom_level in
   let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
   let deadline = slack *. dmin in
   let rel = Rel.make ~lambda0 ~sensitivity:3. ~fmin ~fmax ~frel:0.8 () in
-  match Heuristics.best_of ~rel ~deadline mapping with
+  match Obs.with_span "heuristics" (fun () -> Heuristics.best_of ~rel ~deadline mapping) with
   | None ->
     print_endline "infeasible";
     1
   | Some (sol, _) ->
     let report =
-      Sim.monte_carlo (Rng.create ~seed:(seed + 1)) ~rel ~trials sol.Heuristics.schedule
+      Obs.with_span "monte_carlo" (fun () ->
+          Sim.monte_carlo (Rng.create ~seed:(seed + 1)) ~rel ~trials
+            sol.Heuristics.schedule)
     in
     Printf.printf "energy (worst case): %.6f\n" report.Sim.worst_case_energy;
     Printf.printf "success rate: %.5f over %d trials\n" report.Sim.success_rate trials;
@@ -146,7 +163,8 @@ let simulate kind n seed p slack trials lambda0 =
 
 (* --- pareto --------------------------------------------------------- *)
 
-let pareto kind n seed p reliability =
+let pareto kind n seed p reliability stats =
+  with_stats stats @@ fun () ->
   let dag = build_dag kind ~n ~seed in
   let mapping = List_sched.schedule dag ~p ~priority:List_sched.Bottom_level in
   let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
@@ -220,6 +238,10 @@ let slack_arg =
   Arg.(value & opt float 2. & info [ "slack" ] ~docv:"S"
          ~doc:"Deadline as a multiple of the fmax makespan.")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print solver telemetry (counters, per-phase timers, spans) after the run.")
+
 let generate_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a workload DAG")
@@ -237,7 +259,7 @@ let solve_cmd =
   let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
   Cmd.v (Cmd.info "solve" ~doc:"Minimise energy under a deadline")
     Term.(const solve $ kind_arg $ n_arg $ seed_arg $ p_arg $ slack_arg $ model
-          $ reliability $ gantt)
+          $ reliability $ gantt $ stats_arg)
 
 let simulate_cmd =
   let trials =
@@ -249,7 +271,7 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Fault-inject a TRI-CRIT schedule")
     Term.(const simulate $ kind_arg $ n_arg $ seed_arg $ p_arg $ slack_arg $ trials
-          $ lambda0)
+          $ lambda0 $ stats_arg)
 
 let pareto_cmd =
   let reliability =
@@ -257,7 +279,7 @@ let pareto_cmd =
            ~doc:"Sweep the TRI-CRIT front instead of BI-CRIT.")
   in
   Cmd.v (Cmd.info "pareto" ~doc:"Sweep the energy/deadline trade-off")
-    Term.(const pareto $ kind_arg $ n_arg $ seed_arg $ p_arg $ reliability)
+    Term.(const pareto $ kind_arg $ n_arg $ seed_arg $ p_arg $ reliability $ stats_arg)
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"End-to-end pipeline demo") Term.(const demo $ seed_arg)

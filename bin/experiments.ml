@@ -1013,32 +1013,45 @@ let seed_arg =
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit tables as CSV instead of aligned text.")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print solver telemetry (counters, per-phase timers) after the run.")
+
+let with_stats stats f =
+  if stats then Es_obs.Obs.enable ();
+  f ();
+  if stats then begin
+    print_newline ();
+    print_string (Es_obs.Obs.render_text (Es_obs.Obs.snapshot ()))
+  end
+
 let trials_arg =
   Arg.(value & opt int 50_000 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials (E10).")
 
 let cmd_of name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun seed csv ->
+      const (fun seed csv stats ->
           csv_mode := csv;
-          f ~seed ())
-      $ seed_arg $ csv_arg)
+          with_stats stats (fun () -> f ~seed ()))
+      $ seed_arg $ csv_arg $ stats_arg)
 
 let e10_cmd =
   Cmd.v
     (Cmd.info "e10" ~doc:"Fault-injection validation of Eq. (1)")
     Term.(
-      const (fun seed trials csv ->
+      const (fun seed trials csv stats ->
           csv_mode := csv;
-          e10 ~seed ~trials ())
-      $ seed_arg $ trials_arg $ csv_arg)
+          with_stats stats (fun () -> e10 ~seed ~trials ()))
+      $ seed_arg $ trials_arg $ csv_arg $ stats_arg)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in order (regenerates EXPERIMENTS.md data)")
     Term.(
-      const (fun seed trials csv ->
+      const (fun seed trials csv stats ->
           csv_mode := csv;
+          with_stats stats @@ fun () ->
           e1 ~seed ();
           e2 ~seed ();
           e3 ~seed ();
@@ -1058,7 +1071,7 @@ let all_cmd =
           e17 ~seed ();
           e18 ~seed ();
           e19 ~seed ())
-      $ seed_arg $ trials_arg $ csv_arg)
+      $ seed_arg $ trials_arg $ csv_arg $ stats_arg)
 
 let () =
   let info =

@@ -1,8 +1,13 @@
 type exact = { schedule : Schedule.t; energy : float; nodes_explored : int }
 
+module Obs = Es_obs.Obs
+
+let c_nodes = Obs.counter "bicrit_discrete_nodes"
+let c_pruned = Obs.counter "bicrit_discrete_nodes_pruned"
+
 let ratio_bound ~levels =
   let sorted = Array.copy levels in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let worst = ref 1. in
   for k = 0 to Array.length sorted - 2 do
     let r = sorted.(k + 1) /. sorted.(k) in
@@ -29,7 +34,7 @@ let solve_exact ?(node_limit = 50_000_000) ~deadline ~levels mapping =
   let cdag = Mapping.constraint_dag mapping in
   let n = Dag.n cdag in
   let sorted = Array.copy levels in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let m = Array.length sorted in
   let fmax = sorted.(m - 1) in
   let w = Dag.weights cdag in
@@ -68,6 +73,7 @@ let solve_exact ?(node_limit = 50_000_000) ~deadline ~levels mapping =
     let nodes = ref 0 in
     let rec branch pos acc_energy =
       incr nodes;
+      Obs.incr c_nodes;
       if !nodes > node_limit then failwith "Bicrit_discrete.solve_exact: node limit";
       if pos = n then begin
         if acc_energy < !best_energy then begin
@@ -93,7 +99,9 @@ let solve_exact ?(node_limit = 50_000_000) ~deadline ~levels mapping =
               branch (pos + 1) e;
               assigned.(i) <- -1
             end
+            else Obs.incr c_pruned
           end
+          else Obs.incr c_pruned
         done
       end
     in
@@ -110,7 +118,7 @@ let round_up ~deadline ~levels mapping =
   let cdag = Mapping.constraint_dag mapping in
   let n = Dag.n cdag in
   let sorted = Array.copy levels in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let m = Array.length sorted in
   let lo = Array.make n sorted.(0) and hi = Array.make n sorted.(m - 1) in
   match Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping with

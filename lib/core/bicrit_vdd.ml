@@ -94,7 +94,7 @@ let energy_with_deadline_price ~deadline ~levels mapping =
 
 let two_speed_support ~levels sched =
   let sorted = Array.copy levels in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let index f =
     let found = ref (-1) in
     Array.iteri (fun k g -> if Float.abs (g -. f) <= 1e-9 then found := k) sorted;
@@ -123,7 +123,7 @@ let emulate_continuous ~levels ~speeds mapping =
   let n = Dag.n dag in
   assert (Array.length speeds = n);
   let sorted = Array.copy levels in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let lo0 = sorted.(0) and hi0 = sorted.(Array.length sorted - 1) in
   let bracket f =
     if f < lo0 -. 1e-12 || f > hi0 +. 1e-12 then None

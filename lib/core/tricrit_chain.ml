@@ -31,12 +31,15 @@ let waterfill ~eff_weights ~floors ~fmax ~deadline =
     end
   end
 
+let c_subsets = Es_obs.Obs.counter "tricrit_chain_subsets"
+
 let chain_tasks mapping =
   if Mapping.p mapping <> 1 then
     invalid_arg "Tricrit_chain: mapping must use a single processor";
   Array.of_list (Mapping.order mapping 0)
 
 let evaluate_subset ~rel ~deadline mapping ~subset =
+  Es_obs.Obs.incr c_subsets;
   let dag = Mapping.dag mapping in
   let tasks = chain_tasks mapping in
   let n = Array.length tasks in

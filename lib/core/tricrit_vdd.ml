@@ -1,4 +1,5 @@
 module Problem = Es_lp.Problem
+module Obs = Es_obs.Obs
 
 type solution = {
   schedule : Schedule.t;
@@ -6,7 +7,12 @@ type solution = {
   reexecuted : bool array;
 }
 
+let c_subsets = Obs.counter "tricrit_vdd_subsets"
+let c_cache_hits = Obs.counter "tricrit_vdd_probe_cache_hits"
+let c_cache_misses = Obs.counter "tricrit_vdd_probe_cache_misses"
+
 let solve_subset_split ~rel ~deadline ~levels mapping ~subset ~splits =
+  Obs.incr c_subsets;
   let cdag = Mapping.constraint_dag mapping in
   let n = Dag.n cdag in
   assert (Array.length subset = n);
@@ -101,32 +107,53 @@ let solve_subset ~rel ~deadline ~levels mapping ~subset =
   let n = Array.length subset in
   solve_subset_split ~rel ~deadline ~levels mapping ~subset ~splits:(Array.make n 0.5)
 
-let refine_splits ?(rounds = 1) ~rel ~deadline ~levels mapping solution =
+let refine_splits ?(rounds = 1) ?(use_cache = true) ~rel ~deadline ~levels mapping
+    solution =
   let subset = solution.reexecuted in
   let n = Array.length subset in
   let splits = Array.make n 0.5 in
-  let energy_at () =
-    match solve_subset_split ~rel ~deadline ~levels mapping ~subset ~splits with
-    | Some s -> Some s
-    | None -> None
+  (* Probe memo: the subset LP as a function of (i, θ), valid for the
+     current committed splits of every other task.  A committed change
+     alters the LP for all tasks, so commits clear the table.  This
+     removes the re-solves the seed code paid for the accepted θ
+     ([cost theta] followed by [energy_at ()] on the same LP) and lets
+     any later sweep over an unchanged task replay from cache instead
+     of re-solving the whole golden-section trajectory. *)
+  let cache : (int * float, solution option) Hashtbl.t = Hashtbl.create 64 in
+  let solve_at i theta =
+    match if use_cache then Hashtbl.find_opt cache (i, theta) else None with
+    | Some res ->
+      Obs.incr c_cache_hits;
+      res
+    | None ->
+      Obs.incr c_cache_misses;
+      let saved = splits.(i) in
+      splits.(i) <- theta;
+      let res = solve_subset_split ~rel ~deadline ~levels mapping ~subset ~splits in
+      splits.(i) <- saved;
+      if use_cache then Hashtbl.replace cache (i, theta) res;
+      res
   in
   let best = ref solution in
   for _ = 1 to rounds do
     for i = 0 to n - 1 do
       if subset.(i) then begin
-        let saved = splits.(i) in
         let cost theta =
-          splits.(i) <- theta;
-          let e = match energy_at () with Some s -> s.energy | None -> infinity in
-          splits.(i) <- saved;
-          e
+          match solve_at i theta with Some s -> s.energy | None -> infinity
         in
         let theta =
           Es_numopt.Scalar.golden_min ?max_iters:None ~tol:1e-3 ~f:cost ~lo:0.15 ~hi:0.85
         in
         if cost theta < !best.energy -. 1e-12 then begin
-          splits.(i) <- theta;
-          match energy_at () with Some s -> best := s | None -> ()
+          (* the accepted probe was just solved by [cost]: with the
+             cache this lookup is free, uncached it re-solves the LP *)
+          match solve_at i theta with
+          | Some s ->
+            splits.(i) <- theta;
+            (* committing θᵢ changes the LP seen by every other task *)
+            Hashtbl.reset cache;
+            best := s
+          | None -> ()
         end
       end
     done

@@ -52,12 +52,18 @@ val solve_heuristic :
     continuous heuristic fails. *)
 
 val refine_splits :
-  ?rounds:int -> rel:Rel.params -> deadline:float -> levels:float array ->
-  Mapping.t -> solution -> solution
+  ?rounds:int -> ?use_cache:bool -> rel:Rel.params -> deadline:float ->
+  levels:float array -> Mapping.t -> solution -> solution
 (** Coordinate descent over the per-task budget split: instead of the
     symmetric [√ε_target] per attempt, attempt budgets
     [ε_target^θᵢ / ε_target^{1−θᵢ}] with [θᵢ] optimised one task at a
     time by golden search ([rounds] sweeps, default 1; each probe is
     one LP).  Never returns a worse solution than its input.  This
     closes part of the gap the symmetric linearisation leaves against
-    the true product constraint. *)
+    the true product constraint.
+
+    Probe solutions are memoised by [(task, θ)] while the committed
+    splits are unchanged, so accepting a probe costs no extra LP solve
+    and repeated sweeps replay cached trajectories ([use_cache = false]
+    restores the uncached seed behaviour — same results, strictly more
+    [lp_solves]; it exists for A/B measurement). *)

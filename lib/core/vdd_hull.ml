@@ -1,6 +1,6 @@
 let sorted_levels levels =
   let l = Array.copy levels in
-  Array.sort compare l;
+  Array.sort Float.compare l;
   l
 
 (* Hull points ordered by increasing u = 1/f: fastest level first. *)

@@ -39,7 +39,14 @@ let upper_bound t v u = le t [ (1., v) ] u
 type solution = { objective : float; values : float array; duals : float array }
 type outcome = Solution of solution | Infeasible | Unbounded
 
+module Obs = Es_obs.Obs
+
+let c_solves = Obs.counter "lp_solves"
+let t_solve = Obs.timer "lp_solve"
+
 let solve ?max_iters t =
+  Obs.incr c_solves;
+  Obs.time t_solve @@ fun () ->
   let obj = Array.of_list (List.rev t.objs) in
   let to_constr { expr; relation; rhs } =
     let coeffs = Array.make t.nv 0. in

@@ -8,6 +8,17 @@ type outcome =
 
 let eps = 1e-9
 
+module Obs = Es_obs.Obs
+
+(* Telemetry: total pivots, degenerate pivots (zero-ratio steps, the
+   cycling hazard), per-phase pivot counts and per-phase wall time. *)
+let c_pivots = Obs.counter "simplex_pivots"
+let c_degenerate = Obs.counter "simplex_degenerate_pivots"
+let c_phase1_pivots = Obs.counter "simplex_phase1_pivots"
+let c_phase2_pivots = Obs.counter "simplex_phase2_pivots"
+let t_phase1 = Obs.timer "simplex_phase1"
+let t_phase2 = Obs.timer "simplex_phase2"
+
 (* Tableau layout: columns 0..n_struct-1 structural, then one
    slack/surplus column per inequality row, then one artificial column
    per row needing one.  Row [i] of [tab] stores the coefficients of
@@ -69,7 +80,7 @@ let objective_value t c =
    restricts entering columns (used to bar artificials in phase 2).
    Returns [`Optimal] or [`Unbounded].  Switches from Dantzig to
    Bland's rule after [bland_after] pivots to escape cycling. *)
-let optimise ?(bland_after = 20_000) ~max_iters t c allowed =
+let optimise ?(bland_after = 20_000) ~max_iters ~phase_pivots t c allowed =
   let iters = ref 0 in
   let rec loop () =
     if !iters > max_iters then failwith "Simplex.solve: iteration limit exceeded";
@@ -122,6 +133,9 @@ let optimise ?(bland_after = 20_000) ~max_iters t c allowed =
       done;
       if !row < 0 then `Unbounded
       else begin
+        Obs.incr c_pivots;
+        Obs.incr phase_pivots;
+        if !best_ratio <= eps then Obs.incr c_degenerate;
         pivot t ~row:!row ~col:entering;
         loop ()
       end
@@ -197,7 +211,10 @@ let solve ?(max_iters = 200_000) ~obj constraints =
   (* Phase 1. *)
   if n_art > 0 then begin
     let c1 = Array.init n_cols (fun j -> if j >= art_start then 1. else 0.) in
-    (match optimise ~max_iters t c1 (fun _ -> true) with
+    (match
+       Obs.time t_phase1 (fun () ->
+           optimise ~max_iters ~phase_pivots:c_phase1_pivots t c1 (fun _ -> true))
+     with
     | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
     | `Optimal -> ());
     if objective_value t c1 > 1e-7 then raise Exit
@@ -220,7 +237,10 @@ let solve ?(max_iters = 200_000) ~obj constraints =
   done;
   (* Phase 2: bar artificial columns. *)
   let c2 = Array.init n_cols (fun j -> if j < n_struct then obj.(j) else 0.) in
-  match optimise ~max_iters t c2 (fun j -> j < art_start) with
+  match
+    Obs.time t_phase2 (fun () ->
+        optimise ~max_iters ~phase_pivots:c_phase2_pivots t c2 (fun j -> j < art_start))
+  with
   | `Unbounded -> Unbounded
   | `Optimal ->
     let solution = Array.make n_struct 0. in

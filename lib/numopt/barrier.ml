@@ -5,6 +5,12 @@ type objective = { f : Vec.t -> float; grad : Vec.t -> Vec.t; hess : Vec.t -> Ma
 
 exception Not_strictly_feasible
 
+module Obs = Es_obs.Obs
+
+let c_centering = Obs.counter "barrier_centering_steps"
+let c_newton = Obs.counter "barrier_newton_iters"
+let t_minimize = Obs.timer "barrier_minimize"
+
 let slacks ~a ~b x =
   let ax = Mat.mulv a x in
   Vec.sub b ax
@@ -61,6 +67,7 @@ let newton obj ~t ~a ~b ~tol ~max_iters x0 =
   let iters = ref 0 in
   while !continue && !iters < max_iters do
     incr iters;
+    Obs.incr c_newton;
     let g = barrier_grad obj ~t ~a ~b !x in
     let h = barrier_hess obj ~t ~a ~b !x in
     (* Regularise slightly: keeps Cholesky happy when f is flat along
@@ -99,13 +106,16 @@ let newton obj ~t ~a ~b ~tol ~max_iters x0 =
 let minimize ?(tol = 1e-8) ?(t0 = 1.) ?(mu = 15.) ?(newton_tol = 1e-10)
     ?(max_newton = 80) obj ~a ~b ~x0 =
   if not (feasible_start ~a ~b ~x0) then raise Not_strictly_feasible;
+  Obs.time t_minimize @@ fun () ->
   let m, _ = Mat.dims a in
   let x = ref (Vec.copy x0) in
   let t = ref t0 in
   let gap () = float_of_int m /. !t in
   while gap () > tol do
+    Obs.incr c_centering;
     x := newton obj ~t:!t ~a ~b ~tol:newton_tol ~max_iters:max_newton !x;
     t := !t *. mu
   done;
+  Obs.incr c_centering;
   x := newton obj ~t:!t ~a ~b ~tol:newton_tol ~max_iters:max_newton !x;
   !x

@@ -27,7 +27,13 @@ let root_monotone ?(tol = 1e-12) ~f ~lo ~hi =
     if Float.abs flo < Float.abs fhi then lo else hi
   else bisect ~tol ?max_iters:None ~f ~lo ~hi
 
+let c_golden_probes = Es_obs.Obs.counter "golden_probes"
+
 let golden_min ?(tol = 1e-10) ?(max_iters = 200) ~f ~lo ~hi =
+  let f x =
+    Es_obs.Obs.incr c_golden_probes;
+    f x
+  in
   let phi = (sqrt 5. -. 1.) /. 2. in
   let rec loop a b x1 x2 f1 f2 iters =
     if iters = 0 || b -. a <= tol *. (Float.abs a +. Float.abs b +. 1e-30) then

@@ -1,0 +1,271 @@
+(* Global, process-wide solver telemetry: named counters, wall-clock
+   timers and hierarchical spans.  Everything is disabled by default;
+   the single [on] test keeps the instrumented hot paths within noise
+   of the uninstrumented code when telemetry is off.
+
+   Handles ([counter]/[timer]) are meant to be created once at module
+   initialisation and hit through a record field, so the hot path never
+   touches the registry hashtable. *)
+
+let on = ref false
+
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+(* ------------------------------------------------------------------ *)
+(* clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let clock = ref Unix.gettimeofday
+
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* ------------------------------------------------------------------ *)
+(* counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { mutable n : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { n = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr c = if !on then c.n <- c.n + 1
+let add c k = if !on then c.n <- c.n + k
+let value c = c.n
+
+(* ------------------------------------------------------------------ *)
+(* timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type timer = { mutable total : float; mutable count : int }
+
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+    let t = { total = 0.; count = 0 } in
+    Hashtbl.add timers name t;
+    t
+
+let record t dt =
+  (* clamp: a stepping wall clock must never produce negative totals *)
+  t.total <- t.total +. Float.max dt 0.;
+  t.count <- t.count + 1
+
+let time t f =
+  if not !on then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> record t (now () -. t0)) f
+  end
+
+let timer_total t = t.total
+let timer_count t = t.count
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregated by full path: entering "solve" then "lp" accumulates
+   under the key ["solve"; "lp"].  The stack is stored reversed. *)
+
+type span_cell = { mutable s_total : float; mutable s_count : int }
+
+let spans : (string list, span_cell) Hashtbl.t = Hashtbl.create 64
+let span_stack : string list ref = ref []
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    let path = name :: !span_stack in
+    span_stack := path;
+    let cell =
+      match Hashtbl.find_opt spans path with
+      | Some c -> c
+      | None ->
+        let c = { s_total = 0.; s_count = 0 } in
+        Hashtbl.add spans path c;
+        c
+    in
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        cell.s_total <- cell.s_total +. Float.max (now () -. t0) 0.;
+        cell.s_count <- cell.s_count + 1;
+        span_stack := List.tl !span_stack)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* reset / snapshot                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  (* zero in place: modules hold handles obtained at init time *)
+  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
+  Hashtbl.iter
+    (fun _ t ->
+      t.total <- 0.;
+      t.count <- 0)
+    timers;
+  Hashtbl.reset spans;
+  span_stack := []
+
+type timer_stat = { total : float; count : int }
+type span_stat = { path : string list; span_total : float; span_count : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * timer_stat) list;
+  spans : span_stat list;
+}
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold (fun name c acc -> if c.n <> 0 then (name, c.n) :: acc else acc)
+      counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let ts =
+    Hashtbl.fold
+      (fun name (t : timer) acc ->
+        if t.count <> 0 then (name, { total = t.total; count = t.count }) :: acc
+        else acc)
+      timers []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let sps =
+    Hashtbl.fold
+      (fun path c acc ->
+        { path = List.rev path; span_total = c.s_total; span_count = c.s_count } :: acc)
+      spans []
+    |> List.sort (fun a b -> compare a.path b.path)
+  in
+  { counters = cs; timers = ts; spans = sps }
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_duration secs =
+  if secs >= 1. then Printf.sprintf "%.3f s" secs
+  else if secs >= 1e-3 then Printf.sprintf "%.3f ms" (secs *. 1e3)
+  else if secs >= 1e-6 then Printf.sprintf "%.3f us" (secs *. 1e6)
+  else Printf.sprintf "%.0f ns" (secs *. 1e9)
+
+let render_text snap =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  if snap.counters = [] && snap.timers = [] && snap.spans = [] then
+    line "obs: no telemetry recorded (was Obs.enable called?)"
+  else begin
+    if snap.counters <> [] then begin
+      line "counters:";
+      List.iter (fun (name, n) -> line "  %-36s %12d" name n) snap.counters
+    end;
+    if snap.timers <> [] then begin
+      line "timers:%-31s %12s %8s %12s" "" "total" "count" "mean";
+      List.iter
+        (fun (name, (t : timer_stat)) ->
+          line "  %-36s %12s %8d %12s" name (pp_duration t.total) t.count
+            (pp_duration (t.total /. float_of_int t.count)))
+        snap.timers
+    end;
+    if snap.spans <> [] then begin
+      line "spans:";
+      List.iter
+        (fun s ->
+          let depth = List.length s.path - 1 in
+          let name = List.nth s.path depth in
+          line "  %s%-*s %12s %8d"
+            (String.concat "" (List.init depth (fun _ -> "  ")))
+            (36 - (2 * depth)) name (pp_duration s.span_total) s.span_count)
+        snap.spans
+    end
+  end;
+  Buffer.contents buf
+
+let to_json snap =
+  let open Obs_json in
+  Obj
+    [
+      ("counters", Obj (List.map (fun (n, v) -> (n, Num (float_of_int v))) snap.counters));
+      ( "timers",
+        Obj
+          (List.map
+             (fun (n, (t : timer_stat)) ->
+               ( n,
+                 Obj
+                   [
+                     ("total_s", Num t.total);
+                     ("count", Num (float_of_int t.count));
+                   ] ))
+             snap.timers) );
+      ( "spans",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("path", List (List.map (fun p -> Str p) s.path));
+                   ("total_s", Num s.span_total);
+                   ("count", Num (float_of_int s.span_count));
+                 ])
+             snap.spans) );
+    ]
+
+let render_json snap = Obs_json.to_string (to_json snap)
+
+let of_json j =
+  let open Obs_json in
+  let num = function Some (Num x) -> x | _ -> raise (Parse_error "expected number") in
+  let counters =
+    match member "counters" j with
+    | Some (Obj fields) ->
+      List.map (fun (n, v) -> (n, int_of_float (num (Some v)))) fields
+    | _ -> []
+  in
+  let timers =
+    match member "timers" j with
+    | Some (Obj fields) ->
+      List.map
+        (fun (n, v) ->
+          ( n,
+            {
+              total = num (member "total_s" v);
+              count = int_of_float (num (member "count" v));
+            } ))
+        fields
+    | _ -> []
+  in
+  let spans =
+    match member "spans" j with
+    | Some (List items) ->
+      List.map
+        (fun item ->
+          let path =
+            match member "path" item with
+            | Some (List ps) ->
+              List.map (function Str p -> p | _ -> raise (Parse_error "path")) ps
+            | _ -> raise (Parse_error "path")
+          in
+          {
+            path;
+            span_total = num (member "total_s" item);
+            span_count = int_of_float (num (member "count" item));
+          })
+        items
+    | _ -> []
+  in
+  { counters; timers; spans }

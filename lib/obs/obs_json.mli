@@ -1,0 +1,25 @@
+(** Minimal JSON values: just enough to render {!Obs} snapshots and the
+    bench baseline, and to parse them back in tests — no external
+    dependency.  The printer emits 2-space-indented, round-trippable
+    text; non-finite numbers become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed JSON text. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse JSON text.  Handles everything {!to_string} emits (plus
+    arbitrary whitespace); @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member name (Obj fields)] looks up a field; [None] on missing
+    fields or non-objects. *)

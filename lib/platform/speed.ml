@@ -16,7 +16,7 @@ let normalise_levels speeds =
   if Array.length speeds = 0 then invalid_arg "Speed: empty speed set";
   Array.iter (fun f -> if f <= 0. then invalid_arg "Speed: non-positive speed") speeds;
   let sorted = Array.copy speeds in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let uniq = ref [ sorted.(0) ] in
   Array.iter (fun f -> if f > List.hd !uniq then uniq := f :: !uniq) sorted;
   Array.of_list (List.rev !uniq)

@@ -1,4 +1,5 @@
 module Rng = Es_util.Rng
+module Obs = Es_obs.Obs
 
 type run = {
   success : bool;
@@ -6,6 +7,9 @@ type run = {
   realised_makespan : float;
   realised_energy : float;
 }
+
+let c_trials = Obs.counter "sim_trials"
+let t_monte_carlo = Obs.timer "sim_monte_carlo"
 
 let attempt_failure ~rel e =
   let parts = List.map (fun (p : Schedule.part) -> (p.speed, p.time)) e in
@@ -15,6 +19,26 @@ let analytic_task_failure ~rel sched i =
   List.fold_left
     (fun acc e -> acc *. attempt_failure ~rel e)
     1. (Schedule.executions sched i)
+
+(* Replay one task: walk its attempts until one succeeds, accumulating
+   the realised duration/energy of every attempt that ran.  Returns
+   [true] iff some attempt succeeded.  A task without executions is a
+   malformed schedule, not a failed one. *)
+let replay_task rng ~rel ~durations ~energy ~faults i = function
+  | [] -> invalid_arg "Sim: task has no executions"
+  | executions ->
+    let rec attempts = function
+      | [] -> false
+      | e :: rest ->
+        durations.(i) <- durations.(i) +. Schedule.exec_time e;
+        energy := !energy +. Schedule.exec_energy e;
+        if Rng.bernoulli rng (attempt_failure ~rel e) then begin
+          incr faults;
+          attempts rest
+        end
+        else true
+    in
+    attempts executions
 
 let run rng ~rel sched =
   let dag = Schedule.dag sched in
@@ -26,22 +50,9 @@ let run rng ~rel sched =
   let durations = Array.make n 0. in
   let energy = ref 0. in
   for i = 0 to n - 1 do
-    let rec attempts ok = function
-      | [] -> ok
-      | e :: rest ->
-        if ok then ok (* earlier attempt succeeded: later ones never run *)
-        else begin
-          durations.(i) <- durations.(i) +. Schedule.exec_time e;
-          energy := !energy +. Schedule.exec_energy e;
-          let failed = Rng.bernoulli rng (attempt_failure ~rel e) in
-          if failed then begin
-            incr faults;
-            attempts false rest
-          end
-          else attempts true rest
-        end
+    let ok =
+      replay_task rng ~rel ~durations ~energy ~faults i (Schedule.executions sched i)
     in
-    let ok = attempts false (Schedule.executions sched i) in
     if not ok then all_ok := false
   done;
   let realised_makespan = Dag.critical_path_length cdag ~durations in
@@ -61,6 +72,7 @@ type report = {
 
 let monte_carlo rng ~rel ~trials sched =
   assert (trials > 0);
+  Obs.time t_monte_carlo @@ fun () ->
   let dag = Schedule.dag sched in
   let cdag = Mapping.constraint_dag (Schedule.mapping sched) in
   let n = Dag.n dag in
@@ -72,25 +84,15 @@ let monte_carlo rng ~rel ~trials sched =
   let max_ms = ref 0. in
   let durations = Array.make n 0. in
   for _ = 1 to trials do
+    Obs.incr c_trials;
     Array.fill durations 0 n 0.;
     let energy = ref 0. and all_ok = ref true in
     for i = 0 to n - 1 do
-      let rec attempts ok = function
-        | [] -> ok
-        | e :: rest ->
-          if ok then ok
-          else begin
-            durations.(i) <- durations.(i) +. Schedule.exec_time e;
-            energy := !energy +. Schedule.exec_energy e;
-            let failed = Rng.bernoulli rng (attempt_failure ~rel e) in
-            if failed then begin
-              incr total_faults;
-              attempts false rest
-            end
-            else attempts true rest
-          end
-      in
-      if not (attempts false (Schedule.executions sched i)) then begin
+      if
+        not
+          (replay_task rng ~rel ~durations ~energy ~faults:total_faults i
+             (Schedule.executions sched i))
+      then begin
         all_ok := false;
         task_failures.(i) <- task_failures.(i) + 1
       end

@@ -23,7 +23,9 @@ type run = {
 }
 
 val run : Es_util.Rng.t -> rel:Rel.params -> Schedule.t -> run
-(** Simulate one execution of the schedule. *)
+(** Simulate one execution of the schedule.
+    @raise Invalid_argument if some task has no execution attempts —
+    such a schedule is malformed, not merely unlucky. *)
 
 type report = {
   trials : int;
@@ -41,7 +43,8 @@ type report = {
 }
 
 val monte_carlo : Es_util.Rng.t -> rel:Rel.params -> trials:int -> Schedule.t -> report
-(** [trials] independent runs. *)
+(** [trials] independent runs.
+    @raise Invalid_argument if some task has no execution attempts. *)
 
 val analytic_task_failure : rel:Rel.params -> Schedule.t -> Dag.task -> float
 (** The failure probability Eq. (1) assigns to the task under this

@@ -3,6 +3,7 @@ let () =
   Alcotest.run "energy_sched"
     [
       Test_util.suite;
+      Test_obs.suite;
       Test_linalg.suite;
       Test_lp.suite;
       Test_numopt.suite;

@@ -111,6 +111,16 @@ let test_deterministic_given_seed () =
   Alcotest.(check (float 0.)) "same mean energy" r1.Sim.mean_realised_energy
     r2.Sim.mean_realised_energy
 
+let test_executionless_task_rejected () =
+  (* Sim raises Invalid_argument on a task with no attempts; the
+     schedule layer upholds the same invariant at construction time,
+     so such a schedule cannot even be built through the public API *)
+  let s = chain_schedule ~speed:0.5 in
+  Alcotest.(check bool) "executionless schedule is unconstructible" true
+    (match Schedule.with_execs s 0 [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suite =
   ( "sim",
     [
@@ -122,4 +132,6 @@ let suite =
       Alcotest.test_case "single run consistency" `Quick test_single_run_consistency;
       Alcotest.test_case "zero fault rate" `Quick test_zero_fault_rate;
       Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+      Alcotest.test_case "executionless task rejected" `Quick
+        test_executionless_task_rejected;
     ] )

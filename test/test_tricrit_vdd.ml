@@ -103,6 +103,45 @@ let test_vdd_tricrit_above_continuous_tricrit () =
       (vdd.Tricrit_vdd.energy >= cont.Tricrit_chain.energy *. 0.99)
   | _ -> Alcotest.fail "both feasible"
 
+let test_refine_splits_cache_saves_lp_solves () =
+  (* A/B over the probe cache: cached and uncached refinement must
+     agree on the result, and the cache must pay strictly fewer LP
+     solves — uncached, the accepted θ is re-solved and a second round
+     replays every golden-section probe from scratch. *)
+  let module Obs = Es_obs.Obs in
+  let m, dmin = small_instance ~seed:304 in
+  let deadline = 4. *. dmin in
+  match Tricrit_vdd.solve_heuristic ~rel ~deadline ~levels m with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+    let lp_solves = Obs.counter "lp_solves" in
+    let cache_hits = Obs.counter "tricrit_vdd_probe_cache_hits" in
+    let run ~use_cache =
+      Obs.reset ();
+      Obs.enable ();
+      Fun.protect ~finally:(fun () -> Obs.disable ()) @@ fun () ->
+      let refined =
+        Tricrit_vdd.refine_splits ~rounds:2 ~use_cache ~rel ~deadline ~levels m sol
+      in
+      (refined, Obs.value lp_solves, Obs.value cache_hits)
+    in
+    let refined_c, solves_c, hits_c = run ~use_cache:true in
+    let refined_u, solves_u, hits_u = run ~use_cache:false in
+    Alcotest.(check bool) "instance exercises re-execution" true
+      (Array.exists Fun.id sol.Tricrit_vdd.reexecuted);
+    Alcotest.(check (float 1e-9)) "same energy either way"
+      refined_u.Tricrit_vdd.energy refined_c.Tricrit_vdd.energy;
+    Alcotest.(check bool) "refinement does not regress" true
+      (refined_c.Tricrit_vdd.energy <= sol.Tricrit_vdd.energy +. 1e-9);
+    Alcotest.(check int) "uncached path never hits" 0 hits_u;
+    Alcotest.(check bool)
+      (Printf.sprintf "cache hits (%d) observed" hits_c)
+      true (hits_c > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "fewer LP solves cached (%d < %d)" solves_c solves_u)
+      true
+      (solves_c < solves_u)
+
 let test_infeasible_detected () =
   let m, dmin = small_instance ~seed:308 in
   Alcotest.(check bool) "too tight" true
@@ -127,6 +166,8 @@ let suite =
       Alcotest.test_case "re-exec engages" `Slow test_reexec_engages_under_vdd;
       Alcotest.test_case "heuristic close to exact" `Slow test_heuristic_close_to_exact;
       Alcotest.test_case "vdd >= continuous" `Slow test_vdd_tricrit_above_continuous_tricrit;
+      Alcotest.test_case "refine cache saves LP solves" `Slow
+        test_refine_splits_cache_saves_lp_solves;
       Alcotest.test_case "infeasible detected" `Quick test_infeasible_detected;
       Alcotest.test_case "max_n guard" `Quick test_max_n_guard;
     ] )

@@ -97,6 +97,26 @@ let test_stats_quantiles () =
   check_float "q1 = max" 4. (Stats.quantile xs 1.);
   check_float "q0.5 interpolates" 2.5 (Stats.quantile xs 0.5)
 
+let test_stats_quantile_nan_total_order () =
+  (* regression: quantile once sorted with polymorphic [compare];
+     [Float.compare] is the guaranteed total order, under which NaNs
+     sort below every number — so upper quantiles of a NaN-polluted
+     sample stay finite and deterministic *)
+  let xs = [| 2.; Float.nan; 1.; 3. |] in
+  check_float "max quantile skips the NaN" 3. (Stats.quantile xs 1.);
+  Alcotest.(check bool) "min quantile is the NaN" true
+    (Float.is_nan (Stats.quantile xs 0.));
+  Alcotest.(check bool) "median finite and ordered" true
+    (let m = Stats.quantile xs 0.5 in m >= 1. && m <= 2.)
+
+let test_stats_quantile_signed_zero_and_negatives () =
+  let xs = [| 0.; -1.; -0.; 1. |] in
+  check_float "q0 = -1" (-1.) (Stats.quantile xs 0.);
+  check_float "q1 = 1" 1. (Stats.quantile xs 1.);
+  (* Float.compare puts -0. before 0.; interpolation across the two
+     zeros must still give zero *)
+  check_float "median across signed zeros" 0. (Stats.quantile xs 0.5)
+
 let test_stats_geometric_mean () =
   check_float "gm(1,4) = 2" 2. (Stats.geometric_mean [| 1.; 4. |])
 
@@ -171,6 +191,10 @@ let suite =
       Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
       Alcotest.test_case "stats mean/var/median" `Quick test_stats_mean_var;
       Alcotest.test_case "stats quantiles" `Quick test_stats_quantiles;
+      Alcotest.test_case "stats quantile NaN total order" `Quick
+        test_stats_quantile_nan_total_order;
+      Alcotest.test_case "stats quantile signed zeros" `Quick
+        test_stats_quantile_signed_zero_and_negatives;
       Alcotest.test_case "stats geometric mean" `Quick test_stats_geometric_mean;
       Alcotest.test_case "stats online accumulator" `Quick test_stats_online;
       Alcotest.test_case "futil approx_equal" `Quick test_futil_approx;
