@@ -203,7 +203,7 @@ let print_table () =
   | None -> print_endline "no results"
   | Some tbl ->
     let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
-    let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+    let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
     let table = Es_util.Table.create ~columns:[ "benchmark"; "time/run" ] in
     List.iter
       (fun (name, ols) ->

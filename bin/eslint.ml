@@ -1,0 +1,103 @@
+(* eslint: AST-driven static analysis over the repo's own sources.
+
+   Usage:
+     eslint [PATH]...                    lint files / directories (default .)
+     eslint --rules E001,E004 lib       enforce a subset of the catalogue
+     eslint --allow-file lint.allow ... load checked-in path exemptions
+     eslint --list-rules                print the rule catalogue
+
+   Exit codes: 0 clean, 1 findings reported, 2 operational error
+   (unparsable file, bad allowlist, unknown rule id). *)
+
+open Cmdliner
+module Lint = Es_analysis.Lint
+module Rules = Es_analysis.Rules
+module Allowlist = Es_analysis.Allowlist
+
+let parse_rules spec =
+  let ids =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let resolve acc id =
+    match (acc, Rules.of_id id) with
+    | Error _, _ -> acc
+    | Ok rules, Some r -> Ok (r :: rules)
+    | Ok _, None -> Error (Printf.sprintf "unknown rule id %S" id)
+  in
+  match List.fold_left resolve (Ok []) ids with
+  | Ok [] -> Error "empty rule list"
+  | Ok rules -> Ok (List.sort_uniq Rules.compare_rule rules)
+  | Error _ as e -> e
+
+let list_rules () =
+  List.iter
+    (fun r -> Printf.printf "%s  %s\n" (Rules.id r) (Rules.describe r))
+    Rules.all;
+  0
+
+let run list_only rules_spec allow_file paths =
+  if list_only then list_rules ()
+  else
+    let fail msg =
+      prerr_endline ("eslint: " ^ msg);
+      2
+    in
+    let rules =
+      match rules_spec with
+      | None -> Ok Rules.all
+      | Some spec -> parse_rules spec
+    in
+    let allow =
+      match allow_file with
+      | None -> Ok Allowlist.empty
+      | Some file -> Allowlist.load file
+    in
+    match (rules, allow) with
+    | Error msg, _ | _, Error msg -> fail msg
+    | Ok rules, Ok allow ->
+      let config = { Lint.rules; allow } in
+      let paths = if paths = [] then [ "." ] else paths in
+      let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+      if missing <> [] then
+        fail ("no such path: " ^ String.concat ", " missing)
+      else begin
+        let diags, errors = Lint.lint_paths config paths in
+        List.iter (fun d -> print_endline (Lint.to_string d)) diags;
+        (* keep stdout/stderr ordering deterministic for cram tests *)
+        flush stdout;
+        List.iter (fun e -> prerr_endline ("eslint: " ^ e)) errors;
+        if errors <> [] then 2
+        else if diags <> [] then begin
+          Printf.eprintf "eslint: %d finding(s)\n" (List.length diags);
+          1
+        end
+        else 0
+      end
+
+let cmd =
+  let list_arg =
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let rules_arg =
+    Arg.(value & opt (some string) None
+         & info [ "rules" ] ~docv:"RULES"
+             ~doc:"Comma-separated rule ids to enforce (default: all).")
+  in
+  let allow_arg =
+    Arg.(value & opt (some string) None
+         & info [ "allow-file" ] ~docv:"FILE"
+             ~doc:"Checked-in allowlist of '<path> <rule>' exemptions.")
+  in
+  let paths_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH"
+           ~doc:"Files or directories to lint (default: current directory).")
+  in
+  let info =
+    Cmd.info "eslint" ~version:"1.0.0"
+      ~doc:"AST-driven lint for float-safety and totality invariants."
+  in
+  Cmd.v info Term.(const run $ list_arg $ rules_arg $ allow_arg $ paths_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -493,8 +493,9 @@ let e10 ~seed ~trials () =
   let reexec =
     List.fold_left
       (fun acc i ->
-        let e = List.hd (Schedule.executions acc i) in
-        Schedule.with_execs acc i [ e; e ])
+        match Schedule.executions acc i with
+        | e :: _ -> Schedule.with_execs acc i [ e; e ]
+        | [] -> acc)
       single
       (List.init (Dag.n dag) Fun.id)
   in

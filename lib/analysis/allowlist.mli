@@ -1,0 +1,20 @@
+(** Checked-in path/rule allowlist (the [lint.allow] file).
+
+    Format: one ["<path> <rule>"] pair per line; ['#'] starts a comment;
+    blank lines are ignored.  A pair permits findings of [rule] in every
+    file whose slash-normalised path equals [path] or ends with
+    ["/" ^ path], so entries keep working from inside dune sandboxes. *)
+
+type t
+
+val empty : t
+
+val parse : file:string -> string -> (t, string) result
+(** [parse ~file contents] parses an allowlist; [file] is only used in
+    error messages.  All malformed lines are reported at once. *)
+
+val load : string -> (t, string) result
+(** Read and [parse] a file from disk. *)
+
+val permits : t -> file:string -> Rules.t -> bool
+(** Does the allowlist permit findings of this rule in this file? *)

@@ -1,0 +1,377 @@
+(* AST-driven lint engine.
+
+   A file is parsed with the vanilla compiler front end
+   (compiler-libs.common, no ppx) and walked once with [Ast_iterator].
+   The walk collects raw findings *and* suppression ranges from
+   [@lint.allow "E00x"] attributes; at the end every finding whose
+   character range falls inside a matching suppression range (or whose
+   file/rule pair is on the checked-in allowlist) is dropped.
+
+   Findings are keyed on fully-qualified identifier paths, with a
+   leading [Stdlib.] stripped, so [Stdlib.compare] and [compare] are the
+   same offence while [Float.compare] is not. *)
+
+type config = { rules : Rules.t list; allow : Allowlist.t }
+
+let default_config = { rules = Rules.all; allow = Allowlist.empty }
+
+type diagnostic = {
+  file : string;
+  line : int;
+  col : int;
+  rule : Rules.t;
+  message : string;
+}
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col (Rules.id d.rule)
+    d.message
+
+let compare_diagnostic a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else Rules.compare_rule a.rule b.rule
+
+(* ------------------------------------------------------------------ *)
+(* identifier tables                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* E001: polymorphic structural comparison / hashing. *)
+let poly_ops = [ "compare"; "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param" ]
+
+(* E002: partial stdlib functions on hot paths. *)
+let partial_fns = [ "List.hd"; "List.tl"; "List.nth"; "Option.get"; "Float.of_string" ]
+
+(* E004: direct printing to stdout. *)
+let print_fns =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "Printf.printf";
+    "Format.printf"; "Format.print_string"; "Format.print_newline";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* paths                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let segments file =
+  String.map (fun c -> if c = '\\' then '/' else c) file
+  |> String.split_on_char '/'
+  |> List.filter (fun s -> s <> "" && s <> ".")
+
+(* Library code is anything with a [lib] path segment; E004/E005 only
+   apply there. *)
+let is_lib_source file = List.mem "lib" (segments file)
+
+let rec flatten_longident = function
+  | Longident.Lident s -> Some [ s ]
+  | Longident.Ldot (p, s) ->
+    Option.map (fun segs -> segs @ [ s ]) (flatten_longident p)
+  | Longident.Lapply _ -> None
+
+let ident_name lid =
+  match flatten_longident lid with
+  | None -> None
+  | Some segs ->
+    let segs = match segs with "Stdlib" :: rest when rest <> [] -> rest | _ -> segs in
+    Some (String.concat "." segs)
+
+(* ------------------------------------------------------------------ *)
+(* one-file analysis state                                             *)
+(* ------------------------------------------------------------------ *)
+
+type raw_finding = { r_rule : Rules.t; r_loc : Location.t; r_message : string }
+
+(* A suppression covers one rule over a [cnum, cnum] character range. *)
+type suppression = { s_rule : Rules.t; s_from : int; s_to : int }
+
+type state = {
+  src_file : string;
+  mutable findings : raw_finding list;
+  mutable suppressions : suppression list;
+  mutable errors : string list;
+}
+
+let report st rule loc message =
+  st.findings <- { r_rule = rule; r_loc = loc; r_message = message } :: st.findings
+
+(* [@lint.allow "E001"] / [@lint.allow "E001,E004"] payloads. *)
+let allow_attr_rules st (attr : Parsetree.attribute) =
+  if attr.attr_name.txt <> "lint.allow" then []
+  else
+    let malformed () =
+      let p = attr.attr_loc.loc_start in
+      st.errors <-
+        Printf.sprintf
+          "%s:%d:%d malformed [@lint.allow] payload: expected a string \
+           literal such as \"E001\" or \"E001,E004\""
+          st.src_file p.pos_lnum (p.pos_cnum - p.pos_bol)
+        :: st.errors;
+      []
+    in
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+      let ids = String.split_on_char ',' s in
+      let rules = List.filter_map Rules.of_id ids in
+      if List.length rules <> List.length ids then malformed () else rules
+    | _ -> malformed ()
+
+let add_suppressions st ~(scope : Location.t) attrs =
+  List.iter
+    (fun attr ->
+      List.iter
+        (fun rule ->
+          st.suppressions <-
+            {
+              s_rule = rule;
+              s_from = scope.loc_start.pos_cnum;
+              s_to = scope.loc_end.pos_cnum;
+            }
+            :: st.suppressions)
+        (allow_attr_rules st attr))
+    attrs
+
+let whole_file : Location.t -> Location.t =
+ fun _ ->
+  let pos = { Lexing.pos_fname = ""; pos_lnum = 0; pos_bol = 0; pos_cnum = 0 } in
+  {
+    Location.loc_start = pos;
+    loc_end = { pos with pos_cnum = max_int };
+    loc_ghost = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rule checks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_ident st ~lib name loc =
+  if List.mem name poly_ops then
+    report st Rules.E001 loc
+      (Printf.sprintf
+         "polymorphic structural operation %s; use a typed comparator \
+          (Float.compare, Int.compare, String.compare, List.compare, ...)"
+         name)
+  else if List.mem name partial_fns then
+    report st Rules.E002 loc
+      (Printf.sprintf
+         "partial stdlib function %s; use a total match or the _opt variant"
+         name)
+  else if lib && List.mem name print_fns then
+    report st Rules.E004 loc
+      (Printf.sprintf
+         "direct printing via %s from library code; return a string or \
+          annotate the render entry point with [@lint.allow \"E004\"]"
+         name)
+  else if name = "Obj.magic" || String.length name > 8 && String.sub name 0 8 = "Marshal." then
+    report st Rules.E006 loc
+      (Printf.sprintf "unsafe representation escape %s" name)
+
+let check_try_case st (case : Parsetree.case) =
+  (* Guarded handlers ([with _ when p ->]) are selective; leave them. *)
+  if case.pc_guard = None then
+    match case.pc_lhs.ppat_desc with
+    | Ppat_any ->
+      report st Rules.E003 case.pc_lhs.ppat_loc
+        "catch-all exception handler 'with _ ->' swallows every exception \
+         (including Out_of_memory and Assert_failure); match the \
+         exceptions you expect"
+    | Ppat_var _ -> (
+      match case.pc_rhs.pexp_desc with
+      | Pexp_construct ({ txt = Lident "()"; _ }, None) ->
+        report st Rules.E003 case.pc_lhs.ppat_loc
+          "exception handler binds every exception and discards it; \
+           match the exceptions you expect"
+      | _ -> ())
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* AST walk                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_iterator st ~lib =
+  let open Ast_iterator in
+  let expr iter (e : Parsetree.expression) =
+    add_suppressions st ~scope:e.pexp_loc e.pexp_attributes;
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> (
+      match ident_name txt with
+      | Some name -> check_ident st ~lib name loc
+      | None -> ())
+    | Pexp_try (_, cases) -> List.iter (check_try_case st) cases
+    | _ -> ());
+    default_iterator.expr iter e
+  in
+  let value_binding iter (vb : Parsetree.value_binding) =
+    add_suppressions st ~scope:vb.pvb_loc vb.pvb_attributes;
+    default_iterator.value_binding iter vb
+  in
+  let structure_item iter (si : Parsetree.structure_item) =
+    (match si.pstr_desc with
+    | Pstr_attribute attr ->
+      (* floating [@@@lint.allow "..."]: suppress for the whole file *)
+      add_suppressions st ~scope:(whole_file si.pstr_loc) [ attr ]
+    | Pstr_eval (_, attrs) -> add_suppressions st ~scope:si.pstr_loc attrs
+    | _ -> ());
+    default_iterator.structure_item iter si
+  in
+  let module_binding iter (mb : Parsetree.module_binding) =
+    add_suppressions st ~scope:mb.pmb_loc mb.pmb_attributes;
+    default_iterator.module_binding iter mb
+  in
+  let signature_item iter (si : Parsetree.signature_item) =
+    (match si.psig_desc with
+    | Psig_attribute attr ->
+      add_suppressions st ~scope:(whole_file si.psig_loc) [ attr ]
+    | _ -> ());
+    default_iterator.signature_item iter si
+  in
+  { default_iterator with expr; value_binding; structure_item; module_binding; signature_item }
+
+(* ------------------------------------------------------------------ *)
+(* entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let suppressed st (f : raw_finding) =
+  let c = f.r_loc.loc_start.pos_cnum in
+  List.exists
+    (fun s -> s.s_rule = f.r_rule && s.s_from <= c && c <= s.s_to)
+    st.suppressions
+
+let finalise config st =
+  let diags =
+    List.filter_map
+      (fun f ->
+        if not (List.mem f.r_rule config.rules) then None
+        else if suppressed st f then None
+        else if Allowlist.permits config.allow ~file:st.src_file f.r_rule then None
+        else
+          let p = f.r_loc.loc_start in
+          Some
+            {
+              file = st.src_file;
+              line = p.pos_lnum;
+              col = p.pos_cnum - p.pos_bol;
+              rule = f.r_rule;
+              message = f.r_message;
+            })
+      st.findings
+    |> List.sort compare_diagnostic
+  in
+  match st.errors with
+  | [] -> Ok diags
+  | errs -> Error (String.concat "\n" (List.rev errs))
+
+let has_mli file = Sys.file_exists (Filename.remove_extension file ^ ".mli")
+
+let missing_mli config file =
+  if
+    List.mem Rules.E005 config.rules
+    && Filename.check_suffix file ".ml"
+    && is_lib_source file
+    && not (has_mli file)
+    && not (Allowlist.permits config.allow ~file Rules.E005)
+  then
+    [
+      {
+        file;
+        line = 1;
+        col = 0;
+        rule = Rules.E005;
+        message =
+          Printf.sprintf
+            "library module %s has no .mli interface; write one (or \
+             allow-list generated modules)"
+            (Filename.basename file);
+      };
+    ]
+  else []
+
+let parse_error_message file exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) ->
+    Format.asprintf "%s: %a" file Location.print_report report
+    |> String.map (fun c -> if c = '\n' then ' ' else c)
+  | _ -> Printf.sprintf "%s: parse error" file
+
+let lint_source config ~file contents =
+  let st = { src_file = file; findings = []; suppressions = []; errors = [] } in
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf file;
+  let parsed =
+    if Filename.check_suffix file ".mli" then (
+      match Parse.interface lexbuf with
+      | sg ->
+        let iter = make_iterator st ~lib:(is_lib_source file) in
+        iter.signature iter sg;
+        Ok ()
+      | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) ->
+        Error (parse_error_message file exn))
+    else
+      match Parse.implementation lexbuf with
+      | str ->
+        let iter = make_iterator st ~lib:(is_lib_source file) in
+        iter.structure iter str;
+        Ok ()
+      | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) ->
+        Error (parse_error_message file exn)
+  in
+  match parsed with
+  | Error msg -> Error msg
+  | Ok () -> (
+    match finalise config st with
+    | Ok diags -> Ok (missing_mli config file @ diags |> List.sort compare_diagnostic)
+    | Error msg -> Error msg)
+
+let lint_file config file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | contents -> lint_source config ~file contents
+  | exception Sys_error msg -> Error msg
+
+(* Directory recursion: descend everywhere except build/VCS droppings.
+   Explicitly named roots are always scanned, so pointing the driver at
+   a fixture directory works even though [_build] is skipped during
+   descent. *)
+let skip_dirs = [ "_build"; ".git"; "node_modules" ]
+
+let is_source file =
+  Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
+
+let rec collect_path acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           let child = Filename.concat path entry in
+           if Sys.is_directory child then
+             if List.mem entry skip_dirs then acc else collect_path acc child
+           else if is_source child then child :: acc
+           else acc)
+         acc
+  else if is_source path then path :: acc
+  else acc
+
+let lint_paths config paths =
+  let files =
+    List.fold_left collect_path [] paths |> List.sort_uniq String.compare
+  in
+  List.fold_left
+    (fun (diags, errors) file ->
+      match lint_file config file with
+      | Ok ds -> (ds :: diags, errors)
+      | Error msg -> (diags, msg :: errors))
+    ([], []) files
+  |> fun (diags, errors) ->
+  (List.concat (List.rev diags) |> List.sort compare_diagnostic, List.rev errors)

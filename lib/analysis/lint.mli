@@ -1,0 +1,47 @@
+(** AST-driven lint engine over the repo's own sources.
+
+    Parses [.ml]/[.mli] files with the vanilla compiler front end
+    (compiler-libs, no ppx), walks the Parsetree with [Ast_iterator] and
+    reports [file:line:col \[RULE\] message] diagnostics for the rule
+    catalogue in {!Rules}.
+
+    Suppression: attach [\[@lint.allow "E001"\]] to an expression,
+    [\[@@lint.allow "E001"\]] to a let-binding or module binding, or
+    float [\[@@@lint.allow "E001"\]] at the top level to suppress a rule
+    for the whole file.  Payloads take a comma-separated rule list.
+    Checked-in path-level exemptions go in the {!Allowlist} file. *)
+
+type config = {
+  rules : Rules.t list;  (** rules to enforce; others are ignored *)
+  allow : Allowlist.t;  (** checked-in path/rule exemptions *)
+}
+
+val default_config : config
+(** All rules on, empty allowlist. *)
+
+type diagnostic = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports *)
+  rule : Rules.t;
+  message : string;
+}
+
+val to_string : diagnostic -> string
+(** ["file:line:col [E001] message"]. *)
+
+val compare_diagnostic : diagnostic -> diagnostic -> int
+(** Order by file, line, column, rule. *)
+
+val lint_source : config -> file:string -> string -> (diagnostic list, string) result
+(** Lint source text as if it were [file] (drives fixture tests).
+    [Error] means a parse failure or a malformed [\[@lint.allow\]]
+    payload, not a finding. *)
+
+val lint_file : config -> string -> (diagnostic list, string) result
+(** Lint one file from disk.  Includes the E005 missing-[.mli] check for
+    [lib/] implementation files. *)
+
+val lint_paths : config -> string list -> diagnostic list * string list
+(** Lint files and directories (recursively; [_build]/[.git] skipped),
+    returning sorted diagnostics and any per-file errors. *)

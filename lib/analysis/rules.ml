@@ -1,0 +1,45 @@
+(* The rule catalogue.  Every rule is independently toggleable from the
+   driver; [of_id] is forgiving about case so "e001" works on the
+   command line and in [@lint.allow] payloads. *)
+
+type t = E001 | E002 | E003 | E004 | E005 | E006
+
+let all = [ E001; E002; E003; E004; E005; E006 ]
+
+let id = function
+  | E001 -> "E001"
+  | E002 -> "E002"
+  | E003 -> "E003"
+  | E004 -> "E004"
+  | E005 -> "E005"
+  | E006 -> "E006"
+
+let of_id s =
+  match String.uppercase_ascii (String.trim s) with
+  | "E001" -> Some E001
+  | "E002" -> Some E002
+  | "E003" -> Some E003
+  | "E004" -> Some E004
+  | "E005" -> Some E005
+  | "E006" -> Some E006
+  | _ -> None
+
+let describe = function
+  | E001 ->
+    "polymorphic structural comparison or hash (compare, Hashtbl.hash); \
+     use a typed comparator: Float.compare, Int.compare, String.compare, \
+     List.compare"
+  | E002 ->
+    "partial stdlib function (List.hd, List.tl, List.nth, Option.get, \
+     Float.of_string); use a total match or the _opt variant"
+  | E003 ->
+    "catch-all exception handler (with _ -> ... / with e -> ()); match \
+     the exceptions you expect and let the rest propagate"
+  | E004 ->
+    "direct printing from library code (print_string, Printf.printf); \
+     return a string / use a Buffer, or annotate a render entry point \
+     with [@lint.allow \"E004\"]"
+  | E005 -> "library module without an .mli interface"
+  | E006 -> "unsafe representation escape (Obj.magic, Marshal)"
+
+let compare_rule a b = String.compare (id a) (id b)

@@ -1,0 +1,26 @@
+(** The lint rule catalogue.
+
+    - E001: polymorphic structural ops ([compare], [Hashtbl.hash]).
+    - E002: partial stdlib functions ([List.hd], [List.tl], [List.nth],
+      [Option.get], [Float.of_string]).
+    - E003: catch-all exception handlers ([with _ ->], [with e -> ()]).
+    - E004: direct printing from [lib/] code.
+    - E005: [lib/] module missing its [.mli].
+    - E006: [Obj.magic] / [Marshal] anywhere. *)
+
+type t = E001 | E002 | E003 | E004 | E005 | E006
+
+val all : t list
+(** Every rule, in catalogue order. *)
+
+val id : t -> string
+(** ["E001"] ... ["E006"]. *)
+
+val of_id : string -> t option
+(** Case-insensitive inverse of [id]; [None] on unknown ids. *)
+
+val describe : t -> string
+(** One-line human description, used by [--list-rules] and docs. *)
+
+val compare_rule : t -> t -> int
+(** Total order by rule id (typed; keeps the linter E001-clean). *)

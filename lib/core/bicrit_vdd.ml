@@ -106,7 +106,8 @@ let two_speed_support ~levels sched =
     List.iter
       (fun e ->
         let speeds =
-          List.sort_uniq compare (List.map (fun (p : Schedule.part) -> p.speed) e)
+          List.sort_uniq Float.compare
+            (List.map (fun (p : Schedule.part) -> p.speed) e)
         in
         match speeds with
         | [] | [ _ ] -> ()

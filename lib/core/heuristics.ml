@@ -74,7 +74,7 @@ let chain_oriented ~rel ~deadline mapping =
     let ranked =
       gains |> Array.to_list
       |> List.filter (fun (_, g) -> g > 0.)
-      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
       |> List.map fst |> Array.of_list
     in
     let subset_of_prefix k =
@@ -98,7 +98,7 @@ let chain_oriented ~rel ~deadline mapping =
     (* doubling scan over prefix sizes *)
     let probes =
       let rec doubling k acc = if k > m then acc else doubling (2 * k) (k :: acc) in
-      List.sort_uniq compare (m :: doubling 1 [])
+      List.sort_uniq Int.compare (m :: doubling 1 [])
     in
     let bk, bsol = List.fold_left consider (0, base) probes in
     (* local refinement around the best prefix *)
@@ -130,7 +130,7 @@ let parallel_oriented ~rel ~deadline mapping =
     let candidates =
       List.init n Fun.id
       |> List.filter (fun i -> floor_of i <> None)
-      |> List.sort (fun a b -> compare slack0.(b) slack0.(a))
+      |> List.sort (fun a b -> Float.compare slack0.(b) slack0.(a))
     in
     let durations = Array.copy base_durations in
     let subset = Array.make n false in
@@ -212,7 +212,7 @@ let local_search ?(sweeps = 2) ?(max_candidates = 20) ~rel ~deadline mapping sta
       List.init n Fun.id
       |> List.map (fun i -> (i, Float.abs (gain i subset.(i))))
       |> List.filter (fun (_, g) -> Float.is_finite g)
-      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
       |> List.filteri (fun k _ -> k < max_candidates)
       |> List.map fst
     in

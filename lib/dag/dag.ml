@@ -74,8 +74,8 @@ let make ?labels ~weights ~edges =
         preds.(j) <- i :: preds.(j)
       end)
     edges;
-  Array.iteri (fun i l -> succs.(i) <- List.sort compare l) succs;
-  Array.iteri (fun i l -> preds.(i) <- List.sort compare l) preds;
+  Array.iteri (fun i l -> succs.(i) <- List.sort Int.compare l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.sort Int.compare l) preds;
   let t = { n; weights = Array.copy weights; labels; succs; preds } in
   ignore (topological_order t);
   t

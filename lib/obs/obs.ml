@@ -103,7 +103,7 @@ let with_span name f =
       ~finally:(fun () ->
         cell.s_total <- cell.s_total +. Float.max (now () -. t0) 0.;
         cell.s_count <- cell.s_count + 1;
-        span_stack := List.tl !span_stack)
+        span_stack := (match !span_stack with _ :: tl -> tl | [] -> []))
       f
   end
 
@@ -150,7 +150,7 @@ let snapshot () =
       (fun path c acc ->
         { path = List.rev path; span_total = c.s_total; span_count = c.s_count } :: acc)
       spans []
-    |> List.sort (fun a b -> compare a.path b.path)
+    |> List.sort (fun a b -> List.compare String.compare a.path b.path)
   in
   { counters = cs; timers = ts; spans = sps }
 
@@ -187,7 +187,9 @@ let render_text snap =
       List.iter
         (fun s ->
           let depth = List.length s.path - 1 in
-          let name = List.nth s.path depth in
+          let name =
+            match List.rev s.path with [] -> "?" | leaf :: _ -> leaf
+          in
           line "  %s%-*s %12s %8d"
             (String.concat "" (List.init depth (fun _ -> "  ")))
             (36 - (2 * depth)) name (pp_duration s.span_total) s.span_count)

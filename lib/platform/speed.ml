@@ -17,9 +17,13 @@ let normalise_levels speeds =
   Array.iter (fun f -> if f <= 0. then invalid_arg "Speed: non-positive speed") speeds;
   let sorted = Array.copy speeds in
   Array.sort Float.compare sorted;
-  let uniq = ref [ sorted.(0) ] in
-  Array.iter (fun f -> if f > List.hd !uniq then uniq := f :: !uniq) sorted;
-  Array.of_list (List.rev !uniq)
+  let uniq =
+    Array.fold_left
+      (fun acc f ->
+        match acc with prev :: _ when f <= prev -> acc | _ -> f :: acc)
+      [] sorted
+  in
+  Array.of_list (List.rev uniq)
 
 let discrete speeds = Discrete (normalise_levels speeds)
 let vdd_hopping speeds = Vdd_hopping (normalise_levels speeds)

@@ -52,7 +52,7 @@ let run rng ~rel sched =
         t := finish)
       outcomes.(i)
   done;
-  let events = List.sort (fun a b -> compare a.start b.start) !events in
+  let events = List.sort (fun a b -> Float.compare a.start b.start) !events in
   let makespan = Dag.critical_path_length cdag ~durations in
   { events; success = !success; makespan; energy = !energy }
 

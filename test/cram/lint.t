@@ -1,0 +1,88 @@
+The rule catalogue is discoverable from the CLI.
+
+  $ eslint --list-rules
+  E001  polymorphic structural comparison or hash (compare, Hashtbl.hash); use a typed comparator: Float.compare, Int.compare, String.compare, List.compare
+  E002  partial stdlib function (List.hd, List.tl, List.nth, Option.get, Float.of_string); use a total match or the _opt variant
+  E003  catch-all exception handler (with _ -> ... / with e -> ()); match the exceptions you expect and let the rest propagate
+  E004  direct printing from library code (print_string, Printf.printf); return a string / use a Buffer, or annotate a render entry point with [@lint.allow "E004"]
+  E005  library module without an .mli interface
+  E006  unsafe representation escape (Obj.magic, Marshal)
+
+Every rule fires on its fixture, with exact file:line:col diagnostics
+and a non-zero exit code.
+
+  $ eslint --rules E001 ../fixtures/lint/e001_poly_compare.ml
+  ../fixtures/lint/e001_poly_compare.ml:2:23 [E001] polymorphic structural operation compare; use a typed comparator (Float.compare, Int.compare, String.compare, List.compare, ...)
+  ../fixtures/lint/e001_poly_compare.ml:3:26 [E001] polymorphic structural operation compare; use a typed comparator (Float.compare, Int.compare, String.compare, List.compare, ...)
+  ../fixtures/lint/e001_poly_compare.ml:4:13 [E001] polymorphic structural operation Hashtbl.hash; use a typed comparator (Float.compare, Int.compare, String.compare, List.compare, ...)
+  eslint: 3 finding(s)
+  [1]
+
+  $ eslint --rules E002 ../fixtures/lint/e002_partial.ml
+  ../fixtures/lint/e002_partial.ml:2:12 [E002] partial stdlib function List.hd; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:3:11 [E002] partial stdlib function List.tl; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:4:12 [E002] partial stdlib function List.nth; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:5:13 [E002] partial stdlib function Option.get; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:6:13 [E002] partial stdlib function Float.of_string; use a total match or the _opt variant
+  eslint: 5 finding(s)
+  [1]
+
+  $ eslint --rules E003 ../fixtures/lint/e003_catchall.ml
+  ../fixtures/lint/e003_catchall.ml:2:34 [E003] catch-all exception handler 'with _ ->' swallows every exception (including Out_of_memory and Assert_failure); match the exceptions you expect
+  ../fixtures/lint/e003_catchall.ml:4:35 [E003] exception handler binds every exception and discards it; match the exceptions you expect
+  eslint: 2 finding(s)
+  [1]
+
+  $ eslint --rules E004 ../fixtures/lint/e004
+  ../fixtures/lint/e004/lib/printy.ml:2:15 [E004] direct printing via print_string from library code; return a string or annotate the render entry point with [@lint.allow "E004"]
+  ../fixtures/lint/e004/lib/printy.ml:3:14 [E004] direct printing via Printf.printf from library code; return a string or annotate the render entry point with [@lint.allow "E004"]
+  eslint: 2 finding(s)
+  [1]
+
+  $ eslint --rules E005 ../fixtures/lint/e005
+  ../fixtures/lint/e005/lib/nomli.ml:1:0 [E005] library module nomli.ml has no .mli interface; write one (or allow-list generated modules)
+  eslint: 1 finding(s)
+  [1]
+
+  $ eslint --rules E006 ../fixtures/lint/e006_unsafe.ml
+  ../fixtures/lint/e006_unsafe.ml:2:20 [E006] unsafe representation escape Obj.magic
+  ../fixtures/lint/e006_unsafe.ml:3:17 [E006] unsafe representation escape Marshal.to_string
+  ../fixtures/lint/e006_unsafe.ml:4:20 [E006] unsafe representation escape Marshal.from_string
+  eslint: 3 finding(s)
+  [1]
+
+Clean code and fully suppressed code exit 0 with no output.
+
+  $ eslint ../fixtures/lint/clean.ml
+
+  $ eslint ../fixtures/lint/suppressed.ml
+
+[@lint.allow "E001"] suppresses only E001: the E002 inside the same
+expression is still reported.
+
+  $ eslint ../fixtures/lint/mixed_suppressed.ml
+  ../fixtures/lint/mixed_suppressed.ml:4:13 [E002] partial stdlib function List.hd; use a total match or the _opt variant
+  eslint: 1 finding(s)
+  [1]
+
+A checked-in allowlist exempts a path/rule pair without touching the
+source; other rules in the same file still fire.
+
+  $ cat > exemptions.allow <<'EOF'
+  > # Obj.magic fixture is expected here
+  > lint/e006_unsafe.ml E006
+  > EOF
+
+  $ eslint --allow-file exemptions.allow ../fixtures/lint/e006_unsafe.ml
+
+Unknown rules and bad allowlists are operational errors (exit 2), not
+findings.
+
+  $ eslint --rules E999 ../fixtures/lint/clean.ml
+  eslint: unknown rule id "E999"
+  [2]
+
+  $ echo "lib/foo.ml E999" > bad.allow
+  $ eslint --allow-file bad.allow ../fixtures/lint/clean.ml
+  eslint: bad.allow:1: unknown rule id "E999"
+  [2]

@@ -1,0 +1,6 @@
+(* Fixture: no findings under any rule. *)
+let sorted = List.sort Int.compare [ 3; 1; 2 ]
+let speeds = List.sort_uniq Float.compare [ 1.0; 0.5 ]
+let first = match sorted with [] -> 0 | x :: _ -> x
+let selective f = try f () with Not_found -> List.length speeds
+let render () = Printf.sprintf "%d" first

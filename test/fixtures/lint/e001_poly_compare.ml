@@ -1,0 +1,5 @@
+(* Fixture: E001 — polymorphic structural comparison and hashing. *)
+let sorted = List.sort compare [ 3.0; 1.0; nan ]
+let uniq = List.sort_uniq Stdlib.compare [ 0.0; -0.0 ]
+let hashed = Hashtbl.hash sorted
+let typed_ok = List.sort Float.compare [ 3.0; 1.0 ]

@@ -1,0 +1,7 @@
+(* Fixture: E002 — partial stdlib functions. *)
+let first = List.hd [ 1; 2 ]
+let rest = List.tl [ 1; 2 ]
+let third = List.nth [ 1; 2; 3 ] 2
+let forced = Option.get (Some first)
+let parsed = Float.of_string "1.5"
+let total_ok = match rest with [] -> 0 | x :: _ -> x + third + forced

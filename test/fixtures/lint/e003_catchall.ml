@@ -1,0 +1,9 @@
+(* Fixture: E003 — catch-all exception handlers. *)
+let swallow_all f = try f () with _ -> 0
+
+let swallow_unit f = try f () with e -> ()
+
+(* neither of these is a finding: selective, re-raising, or guarded *)
+let selective f = try f () with Not_found -> 0
+let reraise f = try f () with e -> raise e
+let guarded f = try f () with _ when Sys.win32 -> 0

@@ -1,0 +1,4 @@
+(* Fixture: E004 — direct printing from library code. *)
+let greet () = print_string "hello"
+let shout n = Printf.printf "hello %d\n" n
+let render () = Printf.sprintf "no finding: sprintf returns a string"

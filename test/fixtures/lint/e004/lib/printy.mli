@@ -1,0 +1,3 @@
+val greet : unit -> unit
+val shout : int -> unit
+val render : unit -> string

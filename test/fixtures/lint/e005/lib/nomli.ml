@@ -1,0 +1,2 @@
+(* Fixture: E005 — library module without an .mli interface. *)
+let answer = 42

@@ -1,0 +1,4 @@
+(* Fixture: E006 — unsafe representation escapes. *)
+let coerced : int = Obj.magic "boom"
+let serialised = Marshal.to_string coerced []
+let revived : int = Marshal.from_string serialised 0

@@ -1,0 +1,4 @@
+(* Fixture: [@lint.allow "E001"] covers this whole expression, but it
+   only names E001 — the List.hd inside is an E002 and must still be
+   reported. *)
+let first = (List.hd (List.sort compare [ 3; 1; 2 ])) [@lint.allow "E001"]

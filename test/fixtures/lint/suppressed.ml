@@ -1,0 +1,10 @@
+[@@@lint.allow "E006"]
+
+(* Fixture: every finding below is suppressed — narrow expression and
+   binding attributes for E001/E002/E003, the floating file-wide
+   attribute above for E006.  The linter must report nothing. *)
+let sorted = (List.sort compare [ 3; 1; 2 ]) [@lint.allow "E001"]
+let first = (List.hd sorted) [@lint.allow "E002"]
+let swallow f = (try f () with _ -> first) [@lint.allow "E003"]
+let hashed = Hashtbl.hash sorted [@@lint.allow "E001"]
+let coerced : int = Obj.magic hashed

@@ -1,0 +1,174 @@
+(* Tests for the static-analysis subsystem (Es_analysis): each rule of
+   the catalogue fires on its fixture, clean code is silent, and
+   [@lint.allow] / the checked-in allowlist suppress exactly the rules
+   they name.  Fixtures live in test/fixtures/lint and are declared as
+   test deps, so paths are relative to the test's working directory. *)
+
+module Lint = Es_analysis.Lint
+module Rules = Es_analysis.Rules
+module Allowlist = Es_analysis.Allowlist
+
+let fixture name = Filename.concat "../fixtures/lint" name
+
+let lint ?(rules = Rules.all) ?(allow = Allowlist.empty) name =
+  match Lint.lint_file { Lint.rules; allow } (fixture name) with
+  | Ok diags -> diags
+  | Error msg -> Alcotest.failf "lint_file %s: %s" name msg
+
+let rule_ids diags =
+  List.map (fun (d : Lint.diagnostic) -> Rules.id d.rule) diags
+
+let check_ids = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------ *)
+(* every rule triggers on its fixture                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trigger_fixtures =
+  [
+    (Rules.E001, "e001_poly_compare.ml", 3);
+    (Rules.E002, "e002_partial.ml", 5);
+    (Rules.E003, "e003_catchall.ml", 2);
+    (Rules.E004, "e004/lib/printy.ml", 2);
+    (Rules.E005, "e005/lib/nomli.ml", 1);
+    (Rules.E006, "e006_unsafe.ml", 3);
+  ]
+
+let test_each_rule_triggers () =
+  List.iter
+    (fun (rule, name, expected) ->
+      let diags = lint name in
+      check_ids
+        (Printf.sprintf "%s findings in %s" (Rules.id rule) name)
+        (List.init expected (fun _ -> Rules.id rule))
+        (rule_ids diags))
+    trigger_fixtures
+
+let test_exact_diagnostic () =
+  match lint "e001_poly_compare.ml" with
+  | d :: _ ->
+    Alcotest.(check string)
+      "first finding rendered exactly"
+      "../fixtures/lint/e001_poly_compare.ml:2:23 [E001] polymorphic \
+       structural operation compare; use a typed comparator \
+       (Float.compare, Int.compare, String.compare, List.compare, ...)"
+      (Lint.to_string d)
+  | [] -> Alcotest.fail "expected findings in e001 fixture"
+
+let test_clean_is_silent () =
+  check_ids "clean fixture" [] (rule_ids (lint "clean.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* suppression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppressed_is_silent () =
+  check_ids "suppressed fixture" [] (rule_ids (lint "suppressed.ml"))
+
+let test_suppression_is_rule_specific () =
+  (* [@lint.allow "E001"] wraps an expression containing both an E001
+     and an E002: only the named rule may be silenced. *)
+  let diags = lint "mixed_suppressed.ml" in
+  check_ids "only E002 survives" [ "E002" ] (rule_ids diags)
+
+let test_file_wide_suppression_is_rule_specific () =
+  let src = "[@@@lint.allow \"E006\"]\nlet x : int = Obj.magic (List.hd [])\n" in
+  match Lint.lint_source Lint.default_config ~file:"wide.ml" src with
+  | Ok diags -> check_ids "E002 survives file-wide E006" [ "E002" ] (rule_ids diags)
+  | Error msg -> Alcotest.fail msg
+
+let test_malformed_allow_payload_is_an_error () =
+  let src = "let x = (compare 1 2) [@lint.allow]\n" in
+  match Lint.lint_source Lint.default_config ~file:"bad.ml" src with
+  | Ok _ -> Alcotest.fail "malformed [@lint.allow] must be rejected"
+  | Error msg ->
+    Alcotest.(check bool) "error mentions the attribute" true
+      (Astring.String.is_infix ~affix:"lint.allow" msg)
+
+(* ------------------------------------------------------------------ *)
+(* rule toggling                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_rules_are_toggleable () =
+  let diags = lint ~rules:[ Rules.E002 ] "e001_poly_compare.ml" in
+  check_ids "E001 off: nothing fires" [] (rule_ids diags);
+  let diags = lint ~rules:[ Rules.E001 ] "mixed_suppressed.ml" in
+  check_ids "E002 off and E001 suppressed" [] (rule_ids diags)
+
+let test_e004_only_applies_to_lib_paths () =
+  let src = "let main () = print_string \"cli output is fine\"\n" in
+  match Lint.lint_source Lint.default_config ~file:"bin/tool.ml" src with
+  | Ok diags -> check_ids "no E004 outside lib/" [] (rule_ids diags)
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* allowlist                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let allowlist_of_string s =
+  match Allowlist.parse ~file:"<test>" s with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "allowlist parse: %s" msg
+
+let test_allowlist_suppresses_by_path_suffix () =
+  let allow = allowlist_of_string "# comment\nlint/e006_unsafe.ml E006\n" in
+  check_ids "allow-listed rule silenced" []
+    (rule_ids (lint ~allow "e006_unsafe.ml"));
+  (* the exemption names E006 only: other rules still fire there *)
+  let allow = allowlist_of_string "lint/e001_poly_compare.ml E002" in
+  let diags = lint ~allow "e001_poly_compare.ml" in
+  Alcotest.(check int) "E001 unaffected by an E002 exemption" 3 (List.length diags)
+
+let test_allowlist_rejects_unknown_rules () =
+  match Allowlist.parse ~file:"<test>" "lib/foo.ml E999" with
+  | Ok _ -> Alcotest.fail "unknown rule id must be rejected"
+  | Error _ -> ()
+
+let test_allowlist_no_partial_segment_match () =
+  let allow = allowlist_of_string "e001_poly_compare.ml E001" in
+  (* suffix must start at a path-segment boundary *)
+  Alcotest.(check bool) "segment boundary respected" false
+    (Allowlist.permits allow ~file:"not_e001_poly_compare.ml" Rules.E001)
+
+(* ------------------------------------------------------------------ *)
+(* catalogue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_ids_round_trip () =
+  List.iter
+    (fun r ->
+      match Rules.of_id (String.lowercase_ascii (Rules.id r)) with
+      | Some r' -> Alcotest.(check string) "round trip" (Rules.id r) (Rules.id r')
+      | None -> Alcotest.failf "of_id failed for %s" (Rules.id r))
+    Rules.all;
+  Alcotest.(check bool) "unknown id" true (Rules.of_id "E999" = None)
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "every rule triggers on its fixture" `Quick
+        test_each_rule_triggers;
+      Alcotest.test_case "exact diagnostic text" `Quick test_exact_diagnostic;
+      Alcotest.test_case "clean fixture is silent" `Quick test_clean_is_silent;
+      Alcotest.test_case "suppressed fixture is silent" `Quick
+        test_suppressed_is_silent;
+      Alcotest.test_case "suppression is rule-specific" `Quick
+        test_suppression_is_rule_specific;
+      Alcotest.test_case "file-wide suppression is rule-specific" `Quick
+        test_file_wide_suppression_is_rule_specific;
+      Alcotest.test_case "malformed allow payload errors" `Quick
+        test_malformed_allow_payload_is_an_error;
+      Alcotest.test_case "rules toggle independently" `Quick
+        test_rules_are_toggleable;
+      Alcotest.test_case "E004 scoped to lib paths" `Quick
+        test_e004_only_applies_to_lib_paths;
+      Alcotest.test_case "allowlist suppresses by path suffix" `Quick
+        test_allowlist_suppresses_by_path_suffix;
+      Alcotest.test_case "allowlist rejects unknown rules" `Quick
+        test_allowlist_rejects_unknown_rules;
+      Alcotest.test_case "allowlist respects segment boundaries" `Quick
+        test_allowlist_no_partial_segment_match;
+      Alcotest.test_case "rule ids round trip" `Quick test_rule_ids_round_trip;
+    ] )
+
+let () = Alcotest.run "energy_sched_lint" [ suite ]
