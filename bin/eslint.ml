@@ -2,9 +2,12 @@
 
    Usage:
      eslint [PATH]...                    lint files / directories (default .)
-     eslint --rules E001,E004 lib       enforce a subset of the catalogue
-     eslint --allow-file lint.allow ... load checked-in path exemptions
-     eslint --list-rules                print the rule catalogue
+     eslint --rules E001,U001 lib        enforce a subset of the catalogue
+     eslint --units=false lib            switch off the dimensional analysis
+     eslint --format json|sarif lib      machine-readable reports
+     eslint --exclude test/fixtures ...  prune a subtree from the scan
+     eslint --allow-file lint.allow ...  load checked-in path exemptions
+     eslint --list-rules                 print the rule catalogue
 
    Exit codes: 0 clean, 1 findings reported, 2 operational error
    (unparsable file, bad allowlist, unknown rule id). *)
@@ -37,7 +40,95 @@ let list_rules () =
     Rules.all;
   0
 
-let run list_only rules_spec allow_file paths =
+(* ------------------------------------------------------------------ *)
+(* output formats                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_human diags errors =
+  List.iter (fun d -> print_endline (Lint.to_string d)) diags;
+  (* keep stdout/stderr ordering deterministic for cram tests *)
+  flush stdout;
+  List.iter (fun e -> prerr_endline ("eslint: " ^ e)) errors;
+  if diags <> [] then Printf.eprintf "eslint: %d finding(s)\n" (List.length diags)
+
+(* Render a JSON array block: "[]" when empty, one element per line
+   otherwise, closed at [indent]. *)
+let json_array ~indent items =
+  if items = [] then "[]"
+  else Printf.sprintf "[\n%s\n%s]" (String.concat ",\n" items) indent
+
+(* {"schema":"eslint-json/1","findings":[...],"errors":[...]} *)
+let print_json (diags : Lint.diagnostic list) errors =
+  let finding (d : Lint.diagnostic) =
+    Printf.sprintf
+      "    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+       \"message\": \"%s\"}"
+      (json_escape d.file) d.line d.col (Rules.id d.rule)
+      (json_escape d.message)
+  in
+  let error e = Printf.sprintf "    \"%s\"" (json_escape e) in
+  Printf.printf "{\n  \"schema\": \"eslint-json/1\",\n  \"findings\": %s,\n  \"errors\": %s\n}\n"
+    (json_array ~indent:"  " (List.map finding diags))
+    (json_array ~indent:"  " (List.map error errors))
+
+(* Minimal SARIF 2.1.0 for GitHub code scanning.  Columns are 1-based
+   there, 0-based in our diagnostics. *)
+let print_sarif rules (diags : Lint.diagnostic list) =
+  let rule r =
+    Printf.sprintf
+      "          {\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}"
+      (Rules.id r)
+      (json_escape (Rules.describe r))
+  in
+  let result (d : Lint.diagnostic) =
+    Printf.sprintf
+      "        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": \
+       {\"text\": \"%s\"}, \"locations\": [{\"physicalLocation\": \
+       {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": {\"startLine\": \
+       %d, \"startColumn\": %d}}}]}"
+      (Rules.id d.rule) (json_escape d.message) (json_escape d.file)
+      (max 1 d.line) (d.col + 1)
+  in
+  Printf.printf
+    "{\n\
+    \  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"eslint\",\n\
+    \          \"informationUri\": \"DESIGN.md\",\n\
+    \          \"rules\": %s\n\
+    \        }\n\
+    \      },\n\
+    \      \"results\": %s\n\
+    \    }\n\
+    \  ]\n\
+     }\n"
+    (json_array ~indent:"          " (List.map rule rules))
+    (json_array ~indent:"      " (List.map result diags))
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run list_only rules_spec units format allow_file exclude paths =
   if list_only then list_rules ()
   else
     let fail msg =
@@ -49,6 +140,13 @@ let run list_only rules_spec allow_file paths =
       | None -> Ok Rules.all
       | Some spec -> parse_rules spec
     in
+    let rules =
+      Result.map
+        (fun rs ->
+          if units then rs
+          else List.filter (fun r -> not (List.mem r Rules.units)) rs)
+        rules
+    in
     let allow =
       match allow_file with
       | None -> Ok Allowlist.empty
@@ -56,6 +154,7 @@ let run list_only rules_spec allow_file paths =
     in
     match (rules, allow) with
     | Error msg, _ | _, Error msg -> fail msg
+    | Ok [], Ok _ -> fail "empty rule list (--units=false removed every rule)"
     | Ok rules, Ok allow ->
       let config = { Lint.rules; allow } in
       let paths = if paths = [] then [ "." ] else paths in
@@ -63,17 +162,15 @@ let run list_only rules_spec allow_file paths =
       if missing <> [] then
         fail ("no such path: " ^ String.concat ", " missing)
       else begin
-        let diags, errors = Lint.lint_paths config paths in
-        List.iter (fun d -> print_endline (Lint.to_string d)) diags;
-        (* keep stdout/stderr ordering deterministic for cram tests *)
-        flush stdout;
-        List.iter (fun e -> prerr_endline ("eslint: " ^ e)) errors;
-        if errors <> [] then 2
-        else if diags <> [] then begin
-          Printf.eprintf "eslint: %d finding(s)\n" (List.length diags);
-          1
-        end
-        else 0
+        let diags, errors = Lint.lint_paths ~exclude config paths in
+        (match format with
+        | `Human -> print_human diags errors
+        | `Json -> print_json diags errors
+        | `Sarif ->
+          print_sarif rules diags;
+          flush stdout;
+          List.iter (fun e -> prerr_endline ("eslint: " ^ e)) errors);
+        if errors <> [] then 2 else if diags <> [] then 1 else 0
       end
 
 let cmd =
@@ -85,10 +182,29 @@ let cmd =
          & info [ "rules" ] ~docv:"RULES"
              ~doc:"Comma-separated rule ids to enforce (default: all).")
   in
+  let units_arg =
+    Arg.(value & opt bool true
+         & info [ "units" ] ~docv:"BOOL"
+             ~doc:"Enable the dimensional-analysis pass (U001-U003). On by \
+                   default; $(b,--units=false) switches the family off.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("human", `Human); ("json", `Json); ("sarif", `Sarif) ]) `Human
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,human) (default), $(b,json), or \
+                   $(b,sarif) (GitHub code-scanning annotations).")
+  in
   let allow_arg =
     Arg.(value & opt (some string) None
          & info [ "allow-file" ] ~docv:"FILE"
              ~doc:"Checked-in allowlist of '<path> <rule>' exemptions.")
+  in
+  let exclude_arg =
+    Arg.(value & opt_all string []
+         & info [ "exclude" ] ~docv:"PATH"
+             ~doc:"Prune a path prefix from directory recursion (repeatable); \
+                   e.g. $(b,--exclude test/fixtures).")
   in
   let paths_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"PATH"
@@ -96,8 +212,10 @@ let cmd =
   in
   let info =
     Cmd.info "eslint" ~version:"1.0.0"
-      ~doc:"AST-driven lint for float-safety and totality invariants."
+      ~doc:"AST-driven lint for float-safety, totality and dimensional invariants."
   in
-  Cmd.v info Term.(const run $ list_arg $ rules_arg $ allow_arg $ paths_arg)
+  Cmd.v info
+    Term.(const run $ list_arg $ rules_arg $ units_arg $ format_arg $ allow_arg
+          $ exclude_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -85,8 +85,10 @@ let e2 ~seed () =
       let sp = Generators.random_sp rng ~n ~wlo:0.5 ~whi:3. in
       let dag = Sp.to_dag sp in
       let mapping = Mapping.one_task_per_proc dag in
-      let deadline = 2. *. Bicrit_continuous.sp_equivalent_weight sp in
       let weq = Bicrit_continuous.sp_equivalent_weight sp in
+      (* the paper normalises speeds to f_ref = 1: D = 2·Weq/f_ref *)
+      let fref : (float[@units "freq"]) = 1.0 in
+      let deadline = 2. *. weq /. fref in
       let closed = weq ** 3. /. (deadline *. deadline) in
       match
         Bicrit_continuous.solve_general ~lo:(Array.make n 1e-4) ~hi:(Array.make n 1e9)

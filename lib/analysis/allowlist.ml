@@ -1,7 +1,8 @@
 (* Checked-in allowlist: one "<path> <rule>" pair per line, '#' starts a
    comment.  Paths are matched by suffix against the (slash-normalised)
    file being linted, so the same file works from the repo root and from
-   a dune sandbox. *)
+   a dune sandbox.  A path ending in '/' is a directory entry and
+   permits the rule in every file under that directory. *)
 
 type entry = { path : string; rule : Rules.t }
 type t = entry list
@@ -55,13 +56,26 @@ let load file =
   | contents -> parse ~file contents
   | exception Sys_error msg -> Error msg
 
+(* "lib/dag/sp.ml" matches entry "dag/sp.ml"; "test/lint/x.ml" matches
+   the directory entry "test/" both as a prefix (repo-root runs) and
+   after any "/" (sandbox runs). *)
 let path_matches ~file allowed =
   let file = normalise_path file in
-  file = allowed
-  || (let la = String.length allowed and lf = String.length file in
-      lf > la
-      && String.sub file (lf - la) la = allowed
-      && file.[lf - la - 1] = '/')
+  let la = String.length allowed and lf = String.length file in
+  if la > 0 && allowed.[la - 1] = '/' then
+    (lf > la && String.sub file 0 la = allowed)
+    || (let rec at i =
+          i >= 0
+          && ((file.[i] = '/' && lf - i - 1 > la
+               && String.sub file (i + 1) la = allowed)
+              || at (i - 1))
+        in
+        at (lf - la - 2))
+  else
+    file = allowed
+    || (lf > la
+        && String.sub file (lf - la) la = allowed
+        && file.[lf - la - 1] = '/')
 
 let permits t ~file rule =
   List.exists (fun e -> e.rule = rule && path_matches ~file e.path) t

@@ -3,7 +3,10 @@
     Format: one ["<path> <rule>"] pair per line; ['#'] starts a comment;
     blank lines are ignored.  A pair permits findings of [rule] in every
     file whose slash-normalised path equals [path] or ends with
-    ["/" ^ path], so entries keep working from inside dune sandboxes. *)
+    ["/" ^ path], so entries keep working from inside dune sandboxes.
+    A [path] ending in ['/'] is a directory entry: it permits the rule
+    in every file under that directory (matched as a leading prefix or
+    after any ["/"], e.g. ["test/ E004"] covers [test/lint/foo.ml]). *)
 
 type t
 

@@ -45,7 +45,11 @@ let compare_diagnostic a b =
 let poly_ops = [ "compare"; "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param" ]
 
 (* E002: partial stdlib functions on hot paths. *)
-let partial_fns = [ "List.hd"; "List.tl"; "List.nth"; "Option.get"; "Float.of_string" ]
+let partial_fns =
+  [
+    "List.hd"; "List.tl"; "List.nth"; "List.find"; "List.assoc";
+    "Option.get"; "Hashtbl.find"; "Float.of_string";
+  ]
 
 (* E004: direct printing to stdout. *)
 let print_fns =
@@ -64,9 +68,22 @@ let segments file =
   |> String.split_on_char '/'
   |> List.filter (fun s -> s <> "" && s <> ".")
 
-(* Library code is anything with a [lib] path segment; E004/E005 only
-   apply there. *)
-let is_lib_source file = List.mem "lib" (segments file)
+(* Library code is anything with a [lib] path segment.  Test runners
+   (a [test] segment) are held to the same E004/E005 bar — exemptions
+   go in the checked-in allowlist, not in the scanner. *)
+let is_lib_source file =
+  let segs = segments file in
+  List.mem "lib" segs || List.mem "test" segs
+
+(* U003 applies to the interfaces of the numeric core: a [lib/core] or
+   [lib/platform] directory pair anywhere in the path. *)
+let is_units_scope file =
+  let rec pairs = function
+    | "lib" :: (("core" | "platform") as _next) :: _ -> true
+    | _ :: rest -> pairs rest
+    | [] -> false
+  in
+  pairs (segments file)
 
 let rec flatten_longident = function
   | Longident.Lident s -> Some [ s ]
@@ -238,7 +255,31 @@ let make_iterator st ~lib =
     | _ -> ());
     default_iterator.signature_item iter si
   in
-  { default_iterator with expr; value_binding; structure_item; module_binding; signature_item }
+  (* [@lint.allow] can also sit on a [val] declaration, a record label
+     or inline on a core type — the natural scopes for U003. *)
+  let value_description iter (vd : Parsetree.value_description) =
+    add_suppressions st ~scope:vd.pval_loc vd.pval_attributes;
+    default_iterator.value_description iter vd
+  in
+  let label_declaration iter (ld : Parsetree.label_declaration) =
+    add_suppressions st ~scope:ld.pld_loc ld.pld_attributes;
+    default_iterator.label_declaration iter ld
+  in
+  let typ iter (ty : Parsetree.core_type) =
+    add_suppressions st ~scope:ty.ptyp_loc ty.ptyp_attributes;
+    default_iterator.typ iter ty
+  in
+  {
+    default_iterator with
+    expr;
+    value_binding;
+    structure_item;
+    module_binding;
+    signature_item;
+    value_description;
+    label_declaration;
+    typ;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* entry points                                                        *)
@@ -306,16 +347,24 @@ let parse_error_message file exn =
     |> String.map (fun c -> if c = '\n' then ' ' else c)
   | _ -> Printf.sprintf "%s: parse error" file
 
-let lint_source config ~file contents =
+let units_enabled config =
+  List.exists (fun r -> List.mem r config.rules) Rules.units
+
+let lint_source ?(units_env = Units_rules.empty_env ()) config ~file contents =
   let st = { src_file = file; findings = []; suppressions = []; errors = [] } in
   let lexbuf = Lexing.from_string contents in
   Location.init lexbuf file;
+  let report_units rule loc msg = report st rule loc msg in
+  let error_units msg = st.errors <- msg :: st.errors in
   let parsed =
     if Filename.check_suffix file ".mli" then (
       match Parse.interface lexbuf with
       | sg ->
         let iter = make_iterator st ~lib:(is_lib_source file) in
         iter.signature iter sg;
+        if units_enabled config then
+          Units_rules.check_interface ~annotate_scope:(is_units_scope file)
+            ~report:report_units ~error:error_units sg;
         Ok ()
       | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) ->
         Error (parse_error_message file exn))
@@ -324,6 +373,10 @@ let lint_source config ~file contents =
       | str ->
         let iter = make_iterator st ~lib:(is_lib_source file) in
         iter.structure iter str;
+        if units_enabled config then
+          Units_rules.check_structure units_env
+            ~module_name:(Units_rules.module_name_of_file file)
+            ~report:report_units ~error:error_units str;
         Ok ()
       | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) ->
         Error (parse_error_message file exn)
@@ -335,10 +388,40 @@ let lint_source config ~file contents =
     | Ok diags -> Ok (missing_mli config file @ diags |> List.sort compare_diagnostic)
     | Error msg -> Error msg)
 
-let lint_file config file =
+(* Pass 1: harvest [@units] annotations from every .mli of the lint
+   set.  Parse failures are ignored here — the file surfaces its own
+   error when linted in pass 2. *)
+let build_units_env config files =
+  let env = Units_rules.empty_env () in
+  if units_enabled config then
+    List.iter
+      (fun file ->
+        if Filename.check_suffix file ".mli" then
+          match In_channel.with_open_text file In_channel.input_all with
+          | contents -> (
+            let lexbuf = Lexing.from_string contents in
+            Location.init lexbuf file;
+            match Parse.interface lexbuf with
+            | sg ->
+              Units_rules.collect_interface env
+                ~module_name:(Units_rules.module_name_of_file file)
+                sg
+            | exception (Syntaxerr.Error _ | Lexer.Error _) -> ())
+          | exception Sys_error _ -> ())
+      files;
+  env
+
+let lint_file_in_env config ~units_env file =
   match In_channel.with_open_text file In_channel.input_all with
-  | contents -> lint_source config ~file contents
+  | contents -> lint_source ~units_env config ~file contents
   | exception Sys_error msg -> Error msg
+
+let lint_file config file =
+  (* single-file convenience: the sibling .mli (if any) seeds the
+     interprocedural environment, mirroring what a directory run sees *)
+  let sibling = Filename.remove_extension file ^ ".mli" in
+  let seeds = if Sys.file_exists sibling then [ file; sibling ] else [ file ] in
+  lint_file_in_env config ~units_env:(build_units_env config seeds) file
 
 (* Directory recursion: descend everywhere except build/VCS droppings.
    Explicitly named roots are always scanned, so pointing the driver at
@@ -349,27 +432,47 @@ let skip_dirs = [ "_build"; ".git"; "node_modules" ]
 let is_source file =
   Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
 
-let rec collect_path acc path =
+let normalise_path p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let is_excluded ~exclude path =
+  let path = normalise_path path in
+  List.exists
+    (fun ex ->
+      path = ex
+      || String.length path > String.length ex
+         && String.sub path 0 (String.length ex + 1) = ex ^ "/")
+    exclude
+
+let rec collect_path ~exclude acc path =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list |> List.sort String.compare
     |> List.fold_left
          (fun acc entry ->
            let child = Filename.concat path entry in
-           if Sys.is_directory child then
-             if List.mem entry skip_dirs then acc else collect_path acc child
+           if is_excluded ~exclude child then acc
+           else if Sys.is_directory child then
+             if List.mem entry skip_dirs then acc
+             else collect_path ~exclude acc child
            else if is_source child then child :: acc
            else acc)
          acc
   else if is_source path then path :: acc
   else acc
 
-let lint_paths config paths =
+let lint_paths ?(exclude = []) config paths =
+  let exclude = List.map normalise_path exclude in
   let files =
-    List.fold_left collect_path [] paths |> List.sort_uniq String.compare
+    List.fold_left (collect_path ~exclude) [] paths
+    |> List.sort_uniq String.compare
   in
+  let units_env = build_units_env config files in
   List.fold_left
     (fun (diags, errors) file ->
-      match lint_file config file with
+      match lint_file_in_env config ~units_env file with
       | Ok ds -> (ds :: diags, errors)
       | Error msg -> (diags, msg :: errors))
     ([], []) files

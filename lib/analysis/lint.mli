@@ -33,15 +33,34 @@ val to_string : diagnostic -> string
 val compare_diagnostic : diagnostic -> diagnostic -> int
 (** Order by file, line, column, rule. *)
 
-val lint_source : config -> file:string -> string -> (diagnostic list, string) result
+val lint_source :
+  ?units_env:Units_rules.env ->
+  config ->
+  file:string ->
+  string ->
+  (diagnostic list, string) result
 (** Lint source text as if it were [file] (drives fixture tests).
-    [Error] means a parse failure or a malformed [\[@lint.allow\]]
-    payload, not a finding. *)
+    [units_env] carries the interprocedural [\[@units\]] knowledge of a
+    surrounding directory run (default: empty — intra-file constraints
+    still check).  [Error] means a parse failure or a malformed
+    [\[@lint.allow\]]/[\[@units\]] payload, not a finding. *)
+
+val build_units_env : config -> string list -> Units_rules.env
+(** Pass 1 of the dimensional analysis: harvest [\[@units\]]
+    annotations from every [.mli] in the list.  Cheap no-op when no U
+    rule is enabled. *)
 
 val lint_file : config -> string -> (diagnostic list, string) result
-(** Lint one file from disk.  Includes the E005 missing-[.mli] check for
-    [lib/] implementation files. *)
+(** Lint one file from disk.  Includes the E005 missing-[.mli] check
+    for [lib/] implementation files; the file's sibling [.mli] (if
+    any) seeds the units environment. *)
 
-val lint_paths : config -> string list -> diagnostic list * string list
-(** Lint files and directories (recursively; [_build]/[.git] skipped),
-    returning sorted diagnostics and any per-file errors. *)
+val lint_paths :
+  ?exclude:string list ->
+  config ->
+  string list ->
+  diagnostic list * string list
+(** Lint files and directories (recursively; [_build]/[.git] skipped;
+    [exclude] prunes path prefixes such as [test/fixtures]) in two
+    passes — [\[@units\]] collection over every [.mli], then per-file
+    checking — returning sorted diagnostics and any per-file errors. *)

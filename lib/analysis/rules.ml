@@ -2,9 +2,10 @@
    driver; [of_id] is forgiving about case so "e001" works on the
    command line and in [@lint.allow] payloads. *)
 
-type t = E001 | E002 | E003 | E004 | E005 | E006
+type t = E001 | E002 | E003 | E004 | E005 | E006 | U001 | U002 | U003
 
-let all = [ E001; E002; E003; E004; E005; E006 ]
+let all = [ E001; E002; E003; E004; E005; E006; U001; U002; U003 ]
+let units = [ U001; U002; U003 ]
 
 let id = function
   | E001 -> "E001"
@@ -13,6 +14,9 @@ let id = function
   | E004 -> "E004"
   | E005 -> "E005"
   | E006 -> "E006"
+  | U001 -> "U001"
+  | U002 -> "U002"
+  | U003 -> "U003"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -22,6 +26,9 @@ let of_id s =
   | "E004" -> Some E004
   | "E005" -> Some E005
   | "E006" -> Some E006
+  | "U001" -> Some U001
+  | "U002" -> Some U002
+  | "U003" -> Some U003
   | _ -> None
 
 let describe = function
@@ -30,8 +37,9 @@ let describe = function
      use a typed comparator: Float.compare, Int.compare, String.compare, \
      List.compare"
   | E002 ->
-    "partial stdlib function (List.hd, List.tl, List.nth, Option.get, \
-     Float.of_string); use a total match or the _opt variant"
+    "partial stdlib function (List.hd, List.tl, List.nth, List.find, \
+     List.assoc, Option.get, Hashtbl.find, Float.of_string); use a total \
+     match or the _opt variant"
   | E003 ->
     "catch-all exception handler (with _ -> ... / with e -> ()); match \
      the exceptions you expect and let the rest propagate"
@@ -41,5 +49,17 @@ let describe = function
      with [@lint.allow \"E004\"]"
   | E005 -> "library module without an .mli interface"
   | E006 -> "unsafe representation escape (Obj.magic, Marshal)"
+  | U001 ->
+    "unit mismatch between the operands of a float addition, subtraction, \
+     comparison or min/max (adding an energy to a time, comparing a speed \
+     against a deadline)"
+  | U002 ->
+    "unit mismatch against a [@units] annotation: argument at an annotated \
+     call site, annotated record field, value constraint, or the result of \
+     an exported function"
+  | U003 ->
+    "public float in a lib/core or lib/platform interface without a [@units \
+     \"...\"] annotation (work, freq, time, energy, power, prob, \
+     dimensionless, and products/quotients/powers thereof)"
 
 let compare_rule a b = String.compare (id a) (id b)

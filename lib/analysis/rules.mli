@@ -4,14 +4,25 @@
     - E002: partial stdlib functions ([List.hd], [List.tl], [List.nth],
       [Option.get], [Float.of_string]).
     - E003: catch-all exception handlers ([with _ ->], [with e -> ()]).
-    - E004: direct printing from [lib/] code.
-    - E005: [lib/] module missing its [.mli].
-    - E006: [Obj.magic] / [Marshal] anywhere. *)
+    - E004: direct printing from [lib/] (and [test/]) code.
+    - E005: [lib/] (or [test/]) module missing its [.mli].
+    - E006: [Obj.magic] / [Marshal] anywhere.
+    - U001: unit mismatch in a float addition/subtraction/comparison.
+    - U002: unit mismatch against a [\[@units\]] annotation (call site,
+      record field, constraint, exported result).
+    - U003: unannotated public float in [lib/core] / [lib/platform].
 
-type t = E001 | E002 | E003 | E004 | E005 | E006
+    The U rules are the dimensional-analysis pass ({!Units},
+    {!Units_rules}). *)
+
+type t = E001 | E002 | E003 | E004 | E005 | E006 | U001 | U002 | U003
 
 val all : t list
 (** Every rule, in catalogue order. *)
+
+val units : t list
+(** The dimensional-analysis family ([U001]-[U003]) — what
+    [eslint --units=false] switches off. *)
 
 val id : t -> string
 (** ["E001"] ... ["E006"]. *)

@@ -1,0 +1,166 @@
+(* Free abelian group over the three base dimensions of the paper's
+   model.  [time]/[energy]/[power] are derived, not generators, so the
+   model's own identities (time = w/f, energy = w·f², power = f³ =
+   energy/time) hold by construction. *)
+
+type t = { work : int; freq : int; prob : int }
+
+let dimensionless = { work = 0; freq = 0; prob = 0 }
+let work = { dimensionless with work = 1 }
+let freq = { dimensionless with freq = 1 }
+let prob = { dimensionless with prob = 1 }
+let time = { work = 1; freq = -1; prob = 0 }
+let energy = { work = 1; freq = 2; prob = 0 }
+let power = { work = 0; freq = 3; prob = 0 }
+
+let equal a b = a.work = b.work && a.freq = b.freq && a.prob = b.prob
+
+let compare a b =
+  let c = Int.compare a.work b.work in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.freq b.freq in
+    if c <> 0 then c else Int.compare a.prob b.prob
+
+let mul a b = { work = a.work + b.work; freq = a.freq + b.freq; prob = a.prob + b.prob }
+let inv a = { work = -a.work; freq = -a.freq; prob = -a.prob }
+let div a b = mul a (inv b)
+let pow a n = { work = n * a.work; freq = n * a.freq; prob = n * a.prob }
+
+let sqrt a =
+  if a.work mod 2 = 0 && a.freq mod 2 = 0 && a.prob mod 2 = 0 then
+    Some { work = a.work / 2; freq = a.freq / 2; prob = a.prob / 2 }
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* names                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Catalogue order doubles as the printing preference. *)
+let catalogue =
+  [
+    ("dimensionless", dimensionless);
+    ("work", work);
+    ("freq", freq);
+    ("time", time);
+    ("energy", energy);
+    ("power", power);
+    ("prob", prob);
+  ]
+
+let aliases = [ ("speed", freq); ("ratio", dimensionless); ("1", dimensionless) ]
+
+let of_name s = List.assoc_opt s (catalogue @ aliases)
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type token = Name of string | Star | Slash | Caret | Lparen | Rparen | Int of int
+
+let tokenize s =
+  let n = String.length s in
+  let is_word c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' -> go (i + 1) acc
+      | '*' -> go (i + 1) (Star :: acc)
+      | '/' -> go (i + 1) (Slash :: acc)
+      | '^' -> go (i + 1) (Caret :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '-' | '0' .. '9' ->
+        let j = ref (if s.[i] = '-' then i + 1 else i) in
+        while !j < n && is_digit s.[!j] do incr j done;
+        if !j = i + 1 && s.[i] = '-' then Error "lone '-' in unit expression"
+        else (
+          match int_of_string_opt (String.sub s i (!j - i)) with
+          | Some v -> go !j (Int v :: acc)
+          | None -> Error (Printf.sprintf "bad integer %S" (String.sub s i (!j - i))))
+      | c when is_word c ->
+        let j = ref i in
+        while !j < n && is_word s.[!j] do incr j done;
+        go !j (Name (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+(* unit ::= term (('*'|'/') term)* ; term ::= atom ('^' int)? ;
+   atom ::= name | '1' | '(' unit ')' *)
+let parse s =
+  let ( let* ) r f = Result.bind r f in
+  let rec unit toks =
+    let* t, toks = term toks in
+    tail t toks
+  and tail acc = function
+    | Star :: toks ->
+      let* t, toks = term toks in
+      tail (mul acc t) toks
+    | Slash :: toks ->
+      let* t, toks = term toks in
+      tail (div acc t) toks
+    | toks -> Ok (acc, toks)
+  and term toks =
+    let* a, toks = atom toks in
+    match toks with
+    | Caret :: Int n :: toks -> Ok (pow a n, toks)
+    | Caret :: _ -> Error "expected an integer exponent after '^'"
+    | _ -> Ok (a, toks)
+  and atom = function
+    | Name name :: toks -> (
+      match of_name name with
+      | Some u -> Ok (u, toks)
+      | None -> Error (Printf.sprintf "unknown unit name %S" name))
+    | Int 1 :: toks -> Ok (dimensionless, toks)
+    | Lparen :: toks -> (
+      let* u, toks = unit toks in
+      match toks with
+      | Rparen :: toks -> Ok (u, toks)
+      | _ -> Error "unbalanced parentheses")
+    | _ -> Error "expected a unit name"
+  in
+  let* toks = tokenize s in
+  let* u, rest = unit toks in
+  if rest = [] then Ok u else Error "trailing tokens after unit expression"
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let find_catalogue u =
+  List.find_map (fun (n, v) -> if equal u v then Some n else None) catalogue
+
+let canonical u =
+  let base = [ ("work", u.work); ("freq", u.freq); ("prob", u.prob) ] in
+  let factors =
+    List.filter_map
+      (fun (n, e) ->
+        if e = 0 then None
+        else if e = 1 then Some n
+        else Some (Printf.sprintf "%s^%d" n e))
+      base
+  in
+  String.concat "*" factors
+
+let to_string u =
+  match find_catalogue u with
+  | Some n -> n
+  | None -> (
+    (* one alias quotient (prob/time, 1/freq, ...) reads better than
+       the exponent vector when it exists *)
+    let quotients =
+      List.concat_map
+        (fun (nn, nv) ->
+          List.filter_map
+            (fun (dn, dv) ->
+              if equal dv dimensionless then None
+              else if equal u (div nv dv) then
+                Some ((if equal nv dimensionless then "1" else nn) ^ "/" ^ dn)
+              else None)
+            catalogue)
+        catalogue
+    in
+    match quotients with q :: _ -> q | [] -> canonical u)

@@ -14,35 +14,48 @@
     reliability floors induce. *)
 
 type result = {
-  speeds : float array;  (** optimal speed per task *)
-  energy : float;  (** [Σ wᵢ·fᵢ²] *)
+  speeds : (float[@units "freq"]) array;  (** optimal speed per task *)
+  energy : (float[@units "energy"]);  (** [Σ wᵢ·fᵢ²] *)
 }
 
-val chain : weights:float array -> deadline:float -> fmin:float -> fmax:float -> result option
+val chain :
+  weights:(float[@units "work"]) array ->
+  deadline:(float[@units "time"]) ->
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  result option
 (** Closed form for a linear chain on one processor: the unique KKT
     point runs every task at the common speed [Σw/D] (clamped to
     [fmin] from below).  [None] when even [fmax] misses the deadline. *)
 
 val fork_speeds :
-  root:float -> children:float array -> deadline:float -> fmax:float -> result option
+  root:(float[@units "work"]) ->
+  children:(float[@units "work"]) array ->
+  deadline:(float[@units "time"]) ->
+  fmax:(float[@units "freq"]) ->
+  result option
 (** The paper's fork theorem.  With [W₃ = (Σ wᵢ³)^{1/3}]:
     [f₀ = (W₃ + w₀)/D] for the source and [fᵢ = f₀·wᵢ/W₃] for the
     children; if [f₀ > fmax] the source runs at [fmax] and the children
     at [wᵢ/(D − w₀/fmax)]; [None] when any child then still exceeds
     [fmax].  The returned speeds array is [\[|f₀; f₁; …; fₙ|\]]. *)
 
-val fork_energy : root:float -> children:float array -> deadline:float -> float
+val fork_energy :
+  root:(float[@units "work"]) ->
+  children:(float[@units "work"]) array ->
+  deadline:(float[@units "time"]) ->
+  (float[@units "energy"])
 (** The closed-form optimal energy
     [((Σ wᵢ³)^{1/3} + w₀)³ / D²] (valid when no speed is clamped). *)
 
-val sp_equivalent_weight : Sp.t -> float
+val sp_equivalent_weight : Sp.t -> (float[@units "work"])
 (** The SP recursion behind the closed forms: series composition adds
     equivalent weights, parallel composition combines them as
     [(W_A³ + W_B³)^{1/3}].  The optimal energy of an SP graph (each
     branch on its own processor, no speed bound binding) is
     [W_eq³/D²]. *)
 
-val sp_speeds : Sp.t -> deadline:float -> result
+val sp_speeds : Sp.t -> deadline:(float[@units "time"]) -> result
 (** Closed-form optimal speeds for an SP graph, leaf order matching
     {!Sp.to_dag}: the root receives the full window [D], series nodes
     split their window proportionally to equivalent weights, parallel
@@ -50,11 +63,11 @@ val sp_speeds : Sp.t -> deadline:float -> result
     checks this against {!solve}). *)
 
 val solve_general :
-  ?eff_weights:float array ->
-  ?lo:float array ->
-  ?hi:float array ->
-  ?tol:float ->
-  deadline:float ->
+  ?eff_weights:(float[@units "work"]) array ->
+  ?lo:(float[@units "freq"]) array ->
+  ?hi:(float[@units "freq"]) array ->
+  ?tol:(float[@units "energy"]) ->
+  deadline:(float[@units "time"]) ->
   Mapping.t ->
   result option
 (** Barrier solve of the convex program over the mapping's constraint
@@ -72,11 +85,20 @@ val solve_general :
     polish the winner at full precision). *)
 
 val solve :
-  deadline:float -> fmin:float -> fmax:float -> Mapping.t -> Schedule.t option
+  deadline:(float[@units "time"]) ->
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  Mapping.t ->
+  Schedule.t option
 (** BI-CRIT on a mapped DAG: {!solve_general} with uniform bounds,
     packaged as a single-execution {!Schedule.t}. *)
 
-val energy_lower_bound : deadline:float -> fmin:float -> fmax:float -> Mapping.t -> float
+val energy_lower_bound :
+  deadline:(float[@units "time"]) ->
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  Mapping.t ->
+  (float[@units "energy"])
 (** The continuous optimum — a valid lower bound for every model and
     for TRI-CRIT (re-executions only add energy), used to normalise
     heuristic results in the experiments.  Falls back to

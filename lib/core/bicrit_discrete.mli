@@ -19,22 +19,29 @@
 
 type exact = {
   schedule : Schedule.t;
-  energy : float;
+  energy : (float[@units "energy"]);
   nodes_explored : int;  (** search-tree size, reported by E5 *)
 }
 
 val solve_exact :
-  ?node_limit:int -> deadline:float -> levels:float array -> Mapping.t -> exact option
+  ?node_limit:int ->
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  exact option
 (** Optimal discrete speed assignment.  [None] when infeasible.
     @raise Failure when [node_limit] (default [50_000_000]) is hit —
     the instance is too large for exact search. *)
 
 val round_up :
-  deadline:float -> levels:float array -> Mapping.t -> Schedule.t option
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  Schedule.t option
 (** Continuous relaxation + per-task round-up.  [None] when the
     relaxation is infeasible or a rounded speed exceeds the largest
     level. *)
 
-val ratio_bound : levels:float array -> float
+val ratio_bound : levels:(float[@units "freq"]) array -> (float[@units "dimensionless"])
 (** The a-priori approximation ratio of {!round_up} on instances where
     no speed is clamped: [max_k (f_{k+1}/f_k)²]. *)

@@ -16,16 +16,28 @@
     factor alone. *)
 
 val approximate :
-  deadline:float -> fmin:float -> fmax:float -> delta:float -> Mapping.t ->
+  deadline:(float[@units "time"]) ->
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  delta:(float[@units "freq"]) ->
+  Mapping.t ->
   Schedule.t option
 (** Continuous solve + grid round-up.  [None] when the continuous
     relaxation is infeasible (then the INCREMENTAL instance is too). *)
 
-val bound : fmin:float -> delta:float -> k:int option -> float
+val bound :
+  fmin:(float[@units "freq"]) ->
+  delta:(float[@units "freq"]) ->
+  k:int option ->
+  (float[@units "dimensionless"])
 (** The paper's ratio: [(1 + δ/fmin)²] times [(1 + 1/K)²] when
     [k = Some K] (accounting for an approximate continuous solve),
     without it when [None]. *)
 
-val grid : fmin:float -> fmax:float -> delta:float -> float array
+val grid :
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  delta:(float[@units "freq"]) ->
+  (float[@units "freq"]) array
 (** The admissible speed set of the model (exposed for reuse by the
     DISCRETE solvers in experiments). *)

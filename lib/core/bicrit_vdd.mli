@@ -14,22 +14,33 @@
     geometrically, the optimal energy/time trade-off lives on the lower
     convex hull of the points [(1/fₖ, fₖ²)]. *)
 
-val solve : deadline:float -> levels:float array -> Mapping.t -> Schedule.t option
+val solve :
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  Schedule.t option
 (** Solve the LP; [None] when even all-[fmax] misses the deadline
     (the LP is then infeasible).  Parts with negligible time share
     (< 1e-9 relative to the task duration) are dropped from the
     returned schedule. *)
 
-val two_speed_support : levels:float array -> Schedule.t -> bool
+val two_speed_support : levels:(float[@units "freq"]) array -> Schedule.t -> bool
 (** Whether every task uses at most two distinct speeds, and those two
     are consecutive levels of [levels] — the property R4 asserts of an
     optimal basic solution. *)
 
-val energy : deadline:float -> levels:float array -> Mapping.t -> float option
+val energy :
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  (float[@units "energy"]) option
 (** Optimal objective value without materialising the schedule. *)
 
 val energy_with_deadline_price :
-  deadline:float -> levels:float array -> Mapping.t -> (float * float) option
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  ((float[@units "energy"]) * (float[@units "power"])) option
 (** [(E*, dE*/dD)]: the optimum together with the sum of the dual
     multipliers of the deadline rows — the marginal energy a tighter
     deadline would cost, i.e. the slope of the Pareto front at [D]
@@ -37,7 +48,10 @@ val energy_with_deadline_price :
     differences). *)
 
 val emulate_continuous :
-  levels:float array -> speeds:float array -> Mapping.t -> Schedule.t option
+  levels:(float[@units "freq"]) array ->
+  speeds:(float[@units "freq"]) array ->
+  Mapping.t ->
+  Schedule.t option
 (** The paper's bridge from CONTINUOUS results to VDD-HOPPING
     (Section IV, last paragraph): replace each continuous speed [f] by
     a mix of the two bracketing levels that preserves the execution

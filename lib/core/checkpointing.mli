@@ -33,25 +33,35 @@ type segmentation = int list
 
 type solution = {
   segments : segmentation;
-  speeds : float array;  (** one speed per segment *)
-  energy : float;  (** worst case: both attempts of every segment *)
-  time : float;  (** worst-case chain time *)
+  speeds : (float[@units "freq"]) array;  (** one speed per segment *)
+  energy : (float[@units "energy"]);
+      (** worst case: both attempts of every segment *)
+  time : (float[@units "time"]);  (** worst-case chain time *)
 }
 
-val segment_floor : rel:Rel.params -> work:float -> float option
+val segment_floor :
+  rel:Rel.params -> work:(float[@units "work"]) -> (float[@units "freq"]) option
 (** Minimum speed at which two attempts of a segment with total work
     [work] satisfy the segment reliability constraint. *)
 
 val evaluate :
-  rel:Rel.params -> checkpoint_work:float -> deadline:float ->
-  weights:float array -> segmentation -> solution option
+  rel:Rel.params ->
+  checkpoint_work:(float[@units "work"]) ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
+  segmentation ->
+  solution option
 (** Optimal speeds (waterfilling with per-segment floors) for a given
     segmentation; [None] when infeasible or when the lengths do not
     partition the chain. *)
 
 val solve :
-  ?speed_grid:int -> rel:Rel.params -> checkpoint_work:float -> deadline:float ->
-  weights:float array -> solution option
+  ?speed_grid:int ->
+  rel:Rel.params ->
+  checkpoint_work:(float[@units "work"]) ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
+  solution option
 (** Best segmentation over a grid of [speed_grid] (default 64) common
     speed levels: per level, an interval DP picks the
     minimum-"energy at that level" segmentation, then {!evaluate}
@@ -59,7 +69,10 @@ val solve :
     result. *)
 
 val reexec_equivalent :
-  rel:Rel.params -> deadline:float -> weights:float array -> solution option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
+  solution option
 (** The degenerate comparison point: one task per segment and zero
     checkpoint cost — numerically equal to
     {!Tricrit_chain.evaluate_subset} with every task re-executed. *)

@@ -26,9 +26,9 @@
 
 type two_partition = {
   mapping : Mapping.t;  (** chain of the [aᵢ] on one processor *)
-  levels : float array;  (** [{1, 2}] *)
-  deadline : float;  (** [3S/4] *)
-  energy_threshold : float;  (** [5S/2] *)
+  levels : (float[@units "freq"]) array;  (** [{1, 2}] *)
+  deadline : (float[@units "time"]);  (** [3S/4] *)
+  energy_threshold : (float[@units "energy"]);  (** [5S/2] *)
 }
 
 val of_two_partition : int array -> two_partition
@@ -44,18 +44,22 @@ val two_partition_brute_force : int array -> bool
 (** Direct subset enumeration, the test oracle. *)
 
 type knapsack = {
-  savings : float array;  (** energy saved by re-executing each task *)
-  costs : float array;  (** extra chain time consumed *)
-  budget : float;  (** available slack [D − Σ wᵢ/f_rel] *)
+  savings : (float[@units "energy"]) array;
+      (** energy saved by re-executing each task *)
+  costs : (float[@units "time"]) array;  (** extra chain time consumed *)
+  budget : (float[@units "time"]);  (** available slack [D − Σ wᵢ/f_rel] *)
 }
 
 val knapsack_view :
-  rel:Rel.params -> deadline:float -> weights:float array -> knapsack option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
+  knapsack option
 (** The knapsack structure of the loose-deadline chain (valid when
     every floor dominates the common level; [None] if some task cannot
     be re-executed at all). *)
 
-val knapsack_optimal : knapsack -> bool array * float
+val knapsack_optimal : knapsack -> bool array * (float[@units "energy"])
 (** Enumerate subsets: maximise total saving within the budget.
     Returns the chosen subset and the saving. *)
 

@@ -19,21 +19,27 @@
 
 type solution = {
   schedule : Schedule.t;
-  energy : float;
+  energy : (float[@units "energy"]);
   reexecuted : bool array;
 }
 
 val evaluate_subset :
-  ?tol:float -> rel:Rel.params -> deadline:float -> Mapping.t -> subset:bool array ->
+  ?tol:(float[@units "energy"]) ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  subset:bool array ->
   solution option
 (** Optimal speeds for a fixed re-execution subset (one barrier solve
     at duality gap [tol], default [1e-8]).  [None] when the subset does
     not fit the deadline or a task cannot meet reliability. *)
 
-val baseline : rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+val baseline :
+  rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
 (** No re-execution: BI-CRIT with a global [f_rel] floor. *)
 
-val chain_oriented : rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+val chain_oriented :
+  rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
 (** Family A.  Rank tasks by the optimistic energy gain of
     re-execution ([wᵢfᵢ² − 2wᵢf_loᵢ²] at the baseline speeds), then
     search prefix sizes of that ranking (doubling scan plus local
@@ -41,7 +47,8 @@ val chain_oriented : rel:Rel.params -> deadline:float -> Mapping.t -> solution o
     feasible subset.  Mirrors the chain strategy: re-execution is paid
     for by uniformly slowing the whole schedule. *)
 
-val parallel_oriented : rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+val parallel_oriented :
+  rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
 (** Family B.  Compute each task's float (slack) in the deadline-[D]
     schedule at speed [f_rel]; greedily re-execute tasks whose slack
     absorbs the extra execution time without moving the critical path,
@@ -52,7 +59,10 @@ val parallel_oriented : rel:Rel.params -> deadline:float -> Mapping.t -> solutio
 type winner = Chain_oriented | Parallel_oriented | Baseline_only
 
 val best_of :
-  rel:Rel.params -> deadline:float -> Mapping.t -> (solution * winner) option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  (solution * winner) option
 (** The paper's headline combination: run both families (and the
     baseline) and keep the cheapest feasible schedule. *)
 
@@ -61,8 +71,13 @@ val winner_name : winner -> string
     reports. *)
 
 val local_search :
-  ?sweeps:int -> ?max_candidates:int -> rel:Rel.params -> deadline:float ->
-  Mapping.t -> solution -> solution
+  ?sweeps:int ->
+  ?max_candidates:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  solution ->
+  solution
 (** Single-task toggle descent seeded from an existing solution: in
     each sweep (default 2), try flipping the re-execution bit of up to
     [max_candidates] tasks (default 20, ranked by optimistic gain) and
@@ -72,5 +87,8 @@ val local_search :
     structure of family A leaves on irregular DAGs (experiment E13). *)
 
 val best_of_refined :
-  rel:Rel.params -> deadline:float -> Mapping.t -> (solution * winner) option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  (solution * winner) option
 (** {!best_of} followed by {!local_search} on the winner. *)

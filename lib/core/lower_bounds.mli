@@ -12,11 +12,19 @@
       pays at least [min(wᵢ·f_rel², 2wᵢ·f_loᵢ²)] — the cheapest
       reliability-respecting single or double execution. *)
 
-val relaxation : rel:Rel.params -> deadline:float -> Mapping.t -> float
+val relaxation :
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  (float[@units "energy"])
 (** CONTINUOUS BI-CRIT optimum over [\[fmin, fmax\]]. *)
 
-val per_task : rel:Rel.params -> Mapping.t -> float
+val per_task : rel:Rel.params -> Mapping.t -> (float[@units "energy"])
 (** [Σᵢ min(wᵢ·max(fmin,f_rel)², 2wᵢ·max(fmin,f_loᵢ)²)]. *)
 
-val tricrit : rel:Rel.params -> deadline:float -> Mapping.t -> float
+val tricrit :
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  (float[@units "energy"])
 (** [max(relaxation, per_task)]. *)

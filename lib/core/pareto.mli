@@ -7,18 +7,25 @@
     by the examples and by EXPERIMENTS.md narrative figures. *)
 
 type point = {
-  deadline : float;
-  energy : float;
+  deadline : (float[@units "time"]);
+  energy : (float[@units "energy"]);
   n_reexecuted : int;  (** 0 for BI-CRIT sweeps *)
 }
 
 val bicrit_front :
-  fmin:float -> fmax:float -> deadlines:float list -> Mapping.t -> point list
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  deadlines:(float[@units "time"]) list ->
+  Mapping.t ->
+  point list
 (** CONTINUOUS BI-CRIT optimum per deadline; infeasible deadlines are
     skipped. *)
 
 val tricrit_front :
-  rel:Rel.params -> deadlines:float list -> Mapping.t -> point list
+  rel:Rel.params ->
+  deadlines:(float[@units "time"]) list ->
+  Mapping.t ->
+  point list
 (** Best-of-two-heuristics TRI-CRIT energy per deadline. *)
 
 val dominates : point -> point -> bool

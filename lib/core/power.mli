@@ -16,21 +16,37 @@
     below which slowing down {e wastes} energy.  The ablation measures
     how wrong the paper-model optimum becomes as σ grows. *)
 
-val energy : static:float -> w:float -> f:float -> float
+val energy :
+  static:(float[@units "power"]) ->
+  w:(float[@units "work"]) ->
+  f:(float[@units "freq"]) ->
+  (float[@units "energy"])
 (** [w·(f² + σ/f)]. *)
 
-val critical_speed : static:float -> float
+val critical_speed : static:(float[@units "power"]) -> (float[@units "freq"])
 (** [(σ/2)^{1/3}] — the unconstrained minimiser of [f² + σ/f]. *)
 
-val always_on_energy : static:float -> p:int -> deadline:float -> dynamic:float -> float
+val always_on_energy :
+  static:(float[@units "power"]) ->
+  p:int ->
+  deadline:(float[@units "time"]) ->
+  dynamic:(float[@units "energy"]) ->
+  (float[@units "energy"])
 (** The paper's regime: [dynamic + p·σ·D].  The static part is
     schedule-independent — the formal content of the paper's
     justification. *)
 
-type result = { speeds : float array; energy : float }
+type result = {
+  speeds : (float[@units "freq"]) array;
+  energy : (float[@units "energy"]);
+}
 
 val chain_aware :
-  static:float -> weights:float array -> deadline:float -> fmin:float -> fmax:float ->
+  static:(float[@units "power"]) ->
+  weights:(float[@units "work"]) array ->
+  deadline:(float[@units "time"]) ->
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
   result option
 (** Race-to-idle optimum for a single-processor chain: common speed
     [max(Σw/D, f_crit)] clamped into [\[fmin, fmax\]] (the objective is
@@ -39,15 +55,23 @@ val chain_aware :
     deadline. *)
 
 val chain_naive :
-  static:float -> weights:float array -> deadline:float -> fmin:float -> fmax:float ->
+  static:(float[@units "power"]) ->
+  weights:(float[@units "work"]) array ->
+  deadline:(float[@units "time"]) ->
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
   result option
 (** The paper-model speeds (ignore σ when optimising: run at
     [max(Σw/D, fmin)]) re-costed under the race-to-idle energy — what a
     dynamic-only optimiser actually pays when leakage exists. *)
 
 val ablation_penalty :
-  static:float -> weights:float array -> deadline:float -> fmin:float -> fmax:float ->
-  float option
+  static:(float[@units "power"]) ->
+  weights:(float[@units "work"]) array ->
+  deadline:(float[@units "time"]) ->
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  (float[@units "dimensionless"]) option
 (** [energy(naive)/energy(aware)] — 1.0 when the paper's assumption is
     harmless, growing once the deadline slack pushes the dynamic-only
     optimum below the critical speed. *)

@@ -26,29 +26,42 @@ type kind = Single | Reexecute | Replicate
 
 type solution = {
   kinds : kind array;
-  speeds : float array;
-  energy : float;
-  time : float;  (** worst-case chain time (= mirror-feasible) *)
+  speeds : (float[@units "freq"]) array;
+  energy : (float[@units "energy"]);
+  time : (float[@units "time"]);
+      (** worst-case chain time (= mirror-feasible) *)
 }
 
 val evaluate :
-  rel:Rel.params -> deadline:float -> weights:float array -> kinds:kind array ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
+  kinds:kind array ->
   solution option
 (** Optimal speeds for fixed per-task choices via the generalised
     waterfilling; [None] when infeasible. *)
 
 val solve_exact :
-  ?max_n:int -> rel:Rel.params -> deadline:float -> weights:float array ->
+  ?max_n:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
   solution option
 (** Enumerate all [3ⁿ] option vectors (guard [max_n], default 12). *)
 
 val solve_greedy :
-  rel:Rel.params -> deadline:float -> weights:float array -> solution option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
+  solution option
 (** Local search over per-task option toggles, mirroring
     {!Tricrit_chain.solve_greedy}. *)
 
 val reexec_only :
-  rel:Rel.params -> deadline:float -> weights:float array -> solution option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  weights:(float[@units "work"]) array ->
+  solution option
 (** Best solution with [Replicate] forbidden — the comparison baseline
     showing what the mirror processor buys. *)
 

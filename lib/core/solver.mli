@@ -23,13 +23,13 @@
 type request = {
   mapping : Mapping.t;
   model : Speed.t;
-  deadline : float;
+  deadline : (float[@units "time"]);
   rel : Rel.params option;  (** [Some _] switches to TRI-CRIT *)
 }
 
 type answer = {
   schedule : Schedule.t;
-  energy : float;
+  energy : (float[@units "energy"]);
   exact : bool;  (** whether the engine used is provably optimal *)
   engine : string;  (** human-readable engine name, for reports *)
 }

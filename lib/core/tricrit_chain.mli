@@ -17,16 +17,16 @@
 
 type solution = {
   schedule : Schedule.t;
-  energy : float;
+  energy : (float[@units "energy"]);
   reexecuted : bool array;  (** the chosen subset [S] *)
 }
 
 val waterfill :
-  eff_weights:float array ->
-  floors:float array ->
-  fmax:float ->
-  deadline:float ->
-  float array option
+  eff_weights:(float[@units "work"]) array ->
+  floors:(float[@units "freq"]) array ->
+  fmax:(float[@units "freq"]) ->
+  deadline:(float[@units "time"]) ->
+  (float[@units "freq"]) array option
 (** The "slow everything equally" step: minimise [Σ Wᵢ·fᵢ²] subject to
     [Σ Wᵢ/fᵢ ≤ D] and [floorᵢ ≤ fᵢ ≤ fmax].  The optimum sets
     [fᵢ = max(f_c, floorᵢ)] for a common level [f_c] (KKT); [f_c] is
@@ -34,7 +34,11 @@ val waterfill :
     all-[fmax] misses [D]. *)
 
 val evaluate_subset :
-  rel:Rel.params -> deadline:float -> Mapping.t -> subset:bool array -> solution option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  subset:bool array ->
+  solution option
 (** Optimal schedule given the re-execution subset: effective weight
     [2wᵢ] and floor [max(fmin, min_reexec_speed)] for tasks in the
     subset, weight [wᵢ] and floor [max(fmin, f_rel)] otherwise, then
@@ -42,23 +46,34 @@ val evaluate_subset :
     subset, or a task in the subset cannot meet the reliability
     constraint even at [fmax]). *)
 
-val solve_exact : ?max_n:int -> rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+val solve_exact :
+  ?max_n:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  solution option
 (** Exhaustive minimum over all [2ⁿ] subsets.  @raise Invalid_argument
     when the chain is longer than [max_n] (default 20). *)
 
-val solve_greedy : rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+val solve_greedy :
+  rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
 (** Greedy subset construction: starting from [S = ∅], repeatedly add
     (or drop) the task whose toggle decreases energy the most, until a
     local minimum.  Polynomial ([O(n²)] waterfills) and, in the
     experiments, within a fraction of a percent of {!solve_exact}. *)
 
-val no_reexecution : rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+val no_reexecution :
+  rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
 (** The BI-CRIT-with-floor baseline ([S = ∅]): every task once, at
     least at [f_rel].  The gap to {!solve_greedy} is the energy that
     re-execution reclaims (experiment E6). *)
 
 val solve_dp :
-  ?buckets:int -> rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+  ?buckets:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  solution option
 (** Pseudo-polynomial knapsack DP over the chain's slack budget — the
     algorithmic counterpart of the NP-hardness proof's structure.  In
     the loose-deadline regime every execution sits on its reliability

@@ -15,7 +15,11 @@
 type solution = Heuristics.solution
 
 val solve :
-  ?max_n:int -> rel:Rel.params -> deadline:float -> Mapping.t -> solution option
+  ?max_n:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  solution option
 (** Exact optimum.  @raise Invalid_argument when the number of
     {e candidate} tasks (after the dominance prune) exceeds [max_n]
     (default 12). *)
@@ -25,6 +29,10 @@ val candidates : rel:Rel.params -> Dag.t -> bool array
     reduce energy. *)
 
 val heuristic_gap :
-  ?max_n:int -> rel:Rel.params -> deadline:float -> Mapping.t -> float option
+  ?max_n:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  (float[@units "dimensionless"]) option
 (** Convenience for experiment E13: energy(best-of heuristics) /
     energy(exact), [None] when the instance is infeasible. *)

@@ -13,11 +13,16 @@
 
 type decision = {
   reexec : bool;
-  speed : float;  (** common speed of the one or two executions *)
-  energy : float;
+  speed : (float[@units "freq"]);
+      (** common speed of the one or two executions *)
+  energy : (float[@units "energy"]);
 }
 
-val best_in_window : rel:Rel.params -> w:float -> window:float -> decision option
+val best_in_window :
+  rel:Rel.params ->
+  w:(float[@units "work"]) ->
+  window:(float[@units "time"]) ->
+  decision option
 (** Cheapest feasible way to run a task of weight [w] inside a time
     window: once at [max(f_rel, w/window)] or twice at
     [max(f_lo, 2w/window)], whichever is cheaper; [None] when neither
@@ -25,12 +30,17 @@ val best_in_window : rel:Rel.params -> w:float -> window:float -> decision optio
 
 type solution = {
   schedule : Schedule.t;
-  energy : float;
+  energy : (float[@units "energy"]);
   reexecuted : bool array;
-  source_window : float;  (** the optimised [t₀] *)
+  source_window : (float[@units "time"]);  (** the optimised [t₀] *)
 }
 
-val solve : ?grid:int -> rel:Rel.params -> deadline:float -> Dag.t -> solution option
+val solve :
+  ?grid:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  Dag.t ->
+  solution option
 (** The fork algorithm.  The DAG must be a fork with task 0 as the
     source (as produced by {!Generators.fork}); the mapping used is one
     task per processor.  [grid] (default 512) is the resolution of the

@@ -22,13 +22,15 @@
 
 type solution = Heuristics.solution
 
-val decide_subset : rel:Rel.params -> deadline:float -> Sp.t -> bool array
+val decide_subset :
+  rel:Rel.params -> deadline:(float[@units "time"]) -> Sp.t -> bool array
 (** The window-allocation pass: re-execution decisions per leaf, in
     {!Sp.to_dag} leaf order.  Leaves whose window admits no feasible
     execution at all are marked [false] (the polish step will speed
     them up). *)
 
-val solve : rel:Rel.params -> deadline:float -> Sp.t -> solution option
+val solve :
+  rel:Rel.params -> deadline:(float[@units "time"]) -> Sp.t -> solution option
 (** Decisions + global polish on the one-task-per-processor mapping of
     [Sp.to_dag].  Falls back to the empty subset if the decided subset
     does not fit. *)

@@ -26,24 +26,35 @@
 
 type solution = {
   schedule : Schedule.t;
-  energy : float;
+  energy : (float[@units "energy"]);
   reexecuted : bool array;
 }
 
 val solve_subset :
-  rel:Rel.params -> deadline:float -> levels:float array -> Mapping.t ->
-  subset:bool array -> solution option
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  subset:bool array ->
+  solution option
 (** The fixed-subset LP described above.  [None] if infeasible. *)
 
 val solve_exact :
-  ?max_n:int -> rel:Rel.params -> deadline:float -> levels:float array ->
-  Mapping.t -> solution option
+  ?max_n:int ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  solution option
 (** Minimum over all [2ⁿ] subsets (default size guard [max_n = 12]:
     each subset costs one LP).  @raise Invalid_argument above the
     guard. *)
 
 val solve_heuristic :
-  rel:Rel.params -> deadline:float -> levels:float array -> Mapping.t ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
   solution option
 (** The paper's CONTINUOUS→VDD-HOPPING bridge: run
     {!Heuristics.best_of} under the continuous model spanning the
@@ -52,8 +63,14 @@ val solve_heuristic :
     continuous heuristic fails. *)
 
 val refine_splits :
-  ?rounds:int -> ?use_cache:bool -> rel:Rel.params -> deadline:float ->
-  levels:float array -> Mapping.t -> solution -> solution
+  ?rounds:int ->
+  ?use_cache:bool ->
+  rel:Rel.params ->
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  solution ->
+  solution
 (** Coordinate descent over the per-task budget split: instead of the
     symmetric [√ε_target] per attempt, attempt budgets
     [ε_target^θᵢ / ε_target^{1−θᵢ}] with [θᵢ] optimised one task at a

@@ -21,23 +21,36 @@
     two-speed schedule, all cross-validated against the LP solver in
     the test suite. *)
 
-val energy_per_work : levels:float array -> float -> float
+val energy_per_work :
+  levels:(float[@units "freq"]) array ->
+  (float[@units "1/freq"]) ->
+  (float[@units "freq^2"])
 (** [energy_per_work ~levels u] is [g(u)]: the cheapest energy to
     process one unit of work in time [u] per unit.  Outside
     [\[1/fmax, 1/fmin\]] the value is [infinity] (too fast) or the
     [fmin] point's cost (slower brings no gain — the processor can
     finish early). *)
 
-val bracket_for_time : levels:float array -> float -> (float * float) option
+val bracket_for_time :
+  levels:(float[@units "freq"]) array ->
+  (float[@units "1/freq"]) ->
+  ((float[@units "freq"]) * (float[@units "freq"])) option
 (** The two consecutive levels whose mix realises inverse speed [u];
     [None] when [u < 1/fmax]. *)
 
-val chain_energy : levels:float array -> total_weight:float -> deadline:float -> float option
+val chain_energy :
+  levels:(float[@units "freq"]) array ->
+  total_weight:(float[@units "work"]) ->
+  deadline:(float[@units "time"]) ->
+  (float[@units "energy"]) option
 (** The closed form [W·g(D/W)]; [None] when even [fmax] misses the
     deadline. *)
 
 val chain_schedule :
-  levels:float array -> deadline:float -> Mapping.t -> Schedule.t option
+  levels:(float[@units "freq"]) array ->
+  deadline:(float[@units "time"]) ->
+  Mapping.t ->
+  Schedule.t option
 (** Materialise the closed form on a single-processor chain mapping:
     every task runs the same two-speed mix.  @raise Invalid_argument if
     the mapping uses more than one processor. *)

@@ -92,8 +92,9 @@ let of_dag dag =
   let topo_of set =
     (* induced subgraph topological order, smallest id first *)
     let indeg = Hashtbl.create 16 in
+    let indeg_of i = Option.value ~default:0 (Hashtbl.find_opt indeg i) in
     ISet.iter (fun i -> Hashtbl.replace indeg i (List.length (preds_in set i))) set;
-    let ready = ref (ISet.filter (fun i -> Hashtbl.find indeg i = 0) set) in
+    let ready = ref (ISet.filter (fun i -> indeg_of i = 0) set) in
     let order = ref [] in
     while not (ISet.is_empty !ready) do
       let i = ISet.min_elt !ready in
@@ -101,7 +102,7 @@ let of_dag dag =
       order := i :: !order;
       List.iter
         (fun j ->
-          let d = Hashtbl.find indeg j - 1 in
+          let d = indeg_of j - 1 in
           Hashtbl.replace indeg j d;
           if d = 0 then ready := ISet.add j !ready)
         (succs_in set i)

@@ -14,61 +14,76 @@
       "potentiometer knob" model. *)
 
 type t =
-  | Continuous of { fmin : float; fmax : float }
-  | Discrete of float array  (** strictly increasing, positive *)
-  | Vdd_hopping of float array  (** strictly increasing, positive *)
-  | Incremental of { fmin : float; fmax : float; delta : float }
+  | Continuous of {
+      fmin : (float[@units "freq"]);
+      fmax : (float[@units "freq"]);
+    }
+  | Discrete of (float[@units "freq"]) array
+      (** strictly increasing, positive *)
+  | Vdd_hopping of (float[@units "freq"]) array
+      (** strictly increasing, positive *)
+  | Incremental of {
+      fmin : (float[@units "freq"]);
+      fmax : (float[@units "freq"]);
+      delta : (float[@units "freq"]);
+    }
 
-val continuous : fmin:float -> fmax:float -> t
+val continuous : fmin:(float[@units "freq"]) -> fmax:(float[@units "freq"]) -> t
 (** @raise Invalid_argument unless [0 < fmin <= fmax]. *)
 
-val discrete : float array -> t
+val discrete : (float[@units "freq"]) array -> t
 (** Sorts and deduplicates.  @raise Invalid_argument on empty input or
     non-positive speeds. *)
 
-val vdd_hopping : float array -> t
+val vdd_hopping : (float[@units "freq"]) array -> t
 (** Same validation as {!discrete}. *)
 
-val incremental : fmin:float -> fmax:float -> delta:float -> t
+val incremental :
+  fmin:(float[@units "freq"]) ->
+  fmax:(float[@units "freq"]) ->
+  delta:(float[@units "freq"]) ->
+  t
 (** @raise Invalid_argument unless [0 < fmin <= fmax] and [delta > 0]. *)
 
-val fmin : t -> float
+val fmin : t -> (float[@units "freq"])
 (** Smallest admissible speed. *)
 
-val fmax : t -> float
+val fmax : t -> (float[@units "freq"])
 (** Largest admissible speed. *)
 
-val levels : t -> float array option
+val levels : t -> (float[@units "freq"]) array option
 (** The admissible speed set for the three discrete models (for
     INCREMENTAL, the expanded grid), [None] for CONTINUOUS. *)
 
 val n_levels : t -> int option
 
-val admissible : ?tol:float -> t -> float -> bool
+val admissible :
+  ?tol:(float[@units "freq"]) -> t -> (float[@units "freq"]) -> bool
 (** Whether a single-execution speed value is allowed by the model.
     Under VDD-HOPPING any value between [fmin] and [fmax] is reachable
     as a mix, so the check is the interval test. *)
 
-val round_up : t -> float -> float option
+val round_up : t -> (float[@units "freq"]) -> (float[@units "freq"]) option
 (** Smallest admissible speed [≥ f]; [None] above [fmax].  For
     CONTINUOUS (and VDD-HOPPING mixes) this clamps into the interval.
     This is the rounding step of the paper's INCREMENTAL approximation
     algorithm. *)
 
-val round_down : t -> float -> float option
+val round_down : t -> (float[@units "freq"]) -> (float[@units "freq"]) option
 (** Largest admissible speed [≤ f]; [None] below [fmin]. *)
 
-val bracket : t -> float -> (float * float) option
+val bracket :
+  t -> (float[@units "freq"]) -> ((float[@units "freq"]) * (float[@units "freq"])) option
 (** [bracket m f] returns consecutive levels [(f₋, f₊)] with
     [f₋ ≤ f ≤ f₊] for discrete models — the two speeds used to emulate
     a continuous speed under VDD-HOPPING.  Returns [(f, f)] when [f] is
     itself a level, [None] outside the range, and [(f, f)] for
     CONTINUOUS. *)
 
-val exec_time : w:float -> f:float -> float
+val exec_time : w:(float[@units "work"]) -> f:(float[@units "freq"]) -> (float[@units "time"])
 (** [w / f]: duration of a task of weight [w] at speed [f]. *)
 
-val energy : w:float -> f:float -> float
+val energy : w:(float[@units "work"]) -> f:(float[@units "freq"]) -> (float[@units "energy"])
 (** [w·f²]: dynamic energy of executing weight [w] at speed [f]
     (power [f³] during [w/f] time units). *)
 

@@ -2,11 +2,14 @@ The rule catalogue is discoverable from the CLI.
 
   $ eslint --list-rules
   E001  polymorphic structural comparison or hash (compare, Hashtbl.hash); use a typed comparator: Float.compare, Int.compare, String.compare, List.compare
-  E002  partial stdlib function (List.hd, List.tl, List.nth, Option.get, Float.of_string); use a total match or the _opt variant
+  E002  partial stdlib function (List.hd, List.tl, List.nth, List.find, List.assoc, Option.get, Hashtbl.find, Float.of_string); use a total match or the _opt variant
   E003  catch-all exception handler (with _ -> ... / with e -> ()); match the exceptions you expect and let the rest propagate
   E004  direct printing from library code (print_string, Printf.printf); return a string / use a Buffer, or annotate a render entry point with [@lint.allow "E004"]
   E005  library module without an .mli interface
   E006  unsafe representation escape (Obj.magic, Marshal)
+  U001  unit mismatch between the operands of a float addition, subtraction, comparison or min/max (adding an energy to a time, comparing a speed against a deadline)
+  U002  unit mismatch against a [@units] annotation: argument at an annotated call site, annotated record field, value constraint, or the result of an exported function
+  U003  public float in a lib/core or lib/platform interface without a [@units "..."] annotation (work, freq, time, energy, power, prob, dimensionless, and products/quotients/powers thereof)
 
 Every rule fires on its fixture, with exact file:line:col diagnostics
 and a non-zero exit code.
@@ -86,3 +89,88 @@ findings.
   $ eslint --allow-file bad.allow ../fixtures/lint/clean.ml
   eslint: bad.allow:1: unknown rule id "E999"
   [2]
+
+The dimensional-analysis pass.  U001 fires on mixed-unit arithmetic
+and is suppressible at the site; U002 checks annotated call sites and
+record fields across files (pass 1 reads the .mli); U003 demands
+annotations on public floats in core interfaces.
+
+  $ eslint --rules U001 ../fixtures/lint/u001_mismatch.ml
+  ../fixtures/lint/u001_mismatch.ml:6:16 [U001] operands of (+.) have units energy and time
+  ../fixtures/lint/u001_mismatch.ml:7:16 [U001] operands of < have units energy and time
+  ../fixtures/lint/u001_mismatch.ml:8:16 [U001] operands of Float.min have units energy and time
+  eslint: 3 finding(s)
+  [1]
+
+  $ eslint --rules U001 ../fixtures/lint/u001_suppressed.ml
+
+  $ eslint --rules U002 ../fixtures/lint/u002
+  ../fixtures/lint/u002/use.ml:6:18 [U002] ~w of Metrics.cost has units time, expected work
+  ../fixtures/lint/u002/use.ml:10:2 [U002] record field elapsed expects units time, got energy
+  eslint: 2 finding(s)
+  [1]
+
+  $ eslint --rules U003 ../fixtures/lint/u003
+  ../fixtures/lint/u003/lib/core/therm.mli:4:16 [U003] public float without a [@units] annotation; annotate as (float[@units "work|freq|time|energy|power|prob|dimensionless"]) or suppress with [@lint.allow "U003"]
+  eslint: 1 finding(s)
+  [1]
+
+--units=false switches the whole U family off without touching the
+E rules.
+
+  $ eslint --units=false ../fixtures/lint/u001_mismatch.ml
+
+  $ eslint --units=false ../fixtures/lint/e002_partial.ml
+  ../fixtures/lint/e002_partial.ml:2:12 [E002] partial stdlib function List.hd; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:3:11 [E002] partial stdlib function List.tl; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:4:12 [E002] partial stdlib function List.nth; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:5:13 [E002] partial stdlib function Option.get; use a total match or the _opt variant
+  ../fixtures/lint/e002_partial.ml:6:13 [E002] partial stdlib function Float.of_string; use a total match or the _opt variant
+  eslint: 5 finding(s)
+  [1]
+
+Machine-readable output: --format json for tooling, --format sarif for
+GitHub code scanning (1-based columns there).
+
+  $ eslint --format json --rules U001 ../fixtures/lint/u001_mismatch.ml
+  {
+    "schema": "eslint-json/1",
+    "findings": [
+      {"file": "../fixtures/lint/u001_mismatch.ml", "line": 6, "col": 16, "rule": "U001", "message": "operands of (+.) have units energy and time"},
+      {"file": "../fixtures/lint/u001_mismatch.ml", "line": 7, "col": 16, "rule": "U001", "message": "operands of < have units energy and time"},
+      {"file": "../fixtures/lint/u001_mismatch.ml", "line": 8, "col": 16, "rule": "U001", "message": "operands of Float.min have units energy and time"}
+    ],
+    "errors": []
+  }
+  [1]
+
+  $ eslint --format sarif --rules U002 ../fixtures/lint/u002
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",
+    "runs": [
+      {
+        "tool": {
+          "driver": {
+            "name": "eslint",
+            "informationUri": "DESIGN.md",
+            "rules": [
+            {"id": "U002", "shortDescription": {"text": "unit mismatch against a [@units] annotation: argument at an annotated call site, annotated record field, value constraint, or the result of an exported function"}}
+            ]
+          }
+        },
+        "results": [
+          {"ruleId": "U002", "level": "error", "message": {"text": "~w of Metrics.cost has units time, expected work"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "../fixtures/lint/u002/use.ml"}, "region": {"startLine": 6, "startColumn": 19}}}]},
+          {"ruleId": "U002", "level": "error", "message": {"text": "record field elapsed expects units time, got energy"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "../fixtures/lint/u002/use.ml"}, "region": {"startLine": 10, "startColumn": 3}}}]}
+        ]
+      }
+    ]
+  }
+  [1]
+
+  $ eslint --format json ../fixtures/lint/clean.ml
+  {
+    "schema": "eslint-json/1",
+    "findings": [],
+    "errors": []
+  }

@@ -1,0 +1,9 @@
+(* U001 fixture: additive, comparison and min/max contexts require
+   operands of equal units. *)
+let wasted () =
+  let e : (float[@units "energy"]) = 3.0 in
+  let t : (float[@units "time"]) = 2.0 in
+  let bad_sum = e +. t in
+  let bad_cmp = e < t in
+  let bad_min = Float.min e t in
+  (bad_sum, bad_cmp, bad_min)

@@ -1,0 +1,6 @@
+(* The same mixture as u001_mismatch.ml, acknowledged at the site. *)
+let wasted () =
+  let e : (float[@units "energy"]) = 3.0 in
+  let t : (float[@units "time"]) = 2.0 in
+  let scalarised = (e +. t) [@lint.allow "U001"] in
+  scalarised

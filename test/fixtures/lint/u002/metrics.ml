@@ -1,0 +1,9 @@
+(* Implementation consistent with the annotated interface:
+   w·f² : work·freq² = energy. *)
+
+type sample = {
+  elapsed : (float[@units "time"]);
+  joules : (float[@units "energy"]);
+}
+
+let cost ~w ~f = w *. f *. f

@@ -1,0 +1,10 @@
+(* U002 fixture interface: pass 1 harvests these [@units] signatures
+   so call sites and record constructions in sibling files check. *)
+
+type sample = {
+  elapsed : (float[@units "time"]);
+  joules : (float[@units "energy"]);
+}
+
+val cost :
+  w:(float[@units "work"]) -> f:(float[@units "freq"]) -> (float[@units "energy"])

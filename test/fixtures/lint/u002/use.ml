@@ -1,0 +1,10 @@
+(* U002 fixture: unit mismatches at an annotated call site and in an
+   annotated record construction. *)
+
+let bad_call () =
+  let d : (float[@units "time"]) = 4.0 in
+  Metrics.cost ~w:d ~f:1.5
+
+let bad_record () =
+  let e : (float[@units "energy"]) = 9.0 in
+  { Metrics.elapsed = e; joules = e }

@@ -1,0 +1,8 @@
+(* U003 fixture: public floats in a lib/core interface must carry a
+   [@units] annotation (or a suppression). *)
+
+val threshold : float
+
+val budget : (float[@units "energy"])
+
+val legacy : float [@@lint.allow "U003"]

@@ -130,6 +130,148 @@ let test_allowlist_no_partial_segment_match () =
   Alcotest.(check bool) "segment boundary respected" false
     (Allowlist.permits allow ~file:"not_e001_poly_compare.ml" Rules.E001)
 
+let test_allowlist_directory_entries () =
+  let allow = allowlist_of_string "lint/ E006" in
+  check_ids "directory entry silences the whole subtree" []
+    (rule_ids (lint ~allow "e006_unsafe.ml"));
+  Alcotest.(check bool) "leading-prefix form matches too" true
+    (Allowlist.permits
+       (allowlist_of_string "test/ E004")
+       ~file:"test/lint/runner.ml" Rules.E004);
+  Alcotest.(check bool) "a directory entry is not a suffix match" false
+    (Allowlist.permits
+       (allowlist_of_string "lint/ E006")
+       ~file:"notlint/e006_unsafe.ml" Rules.E006)
+
+(* ------------------------------------------------------------------ *)
+(* dimensional analysis: the U rules                                   *)
+(* ------------------------------------------------------------------ *)
+
+let lint_dir ?(rules = Rules.all) name =
+  let diags, errors = Lint.lint_paths { Lint.rules; allow = Allowlist.empty } [ fixture name ] in
+  List.iter (fun e -> Alcotest.failf "lint_paths %s: %s" name e) errors;
+  diags
+
+let test_u001_triggers () =
+  check_ids "three mixed-unit contexts" [ "U001"; "U001"; "U001" ]
+    (rule_ids (lint "u001_mismatch.ml"))
+
+let test_u001_suppressed () =
+  check_ids "[@lint.allow \"U001\"] silences the site" []
+    (rule_ids (lint "u001_suppressed.ml"))
+
+let test_u002_interprocedural () =
+  (* pass 1 reads metrics.mli; the bad call site and the bad record
+     construction live in a different file of the same directory *)
+  let diags = lint_dir ~rules:[ Rules.U002 ] "u002" in
+  check_ids "call site and record field" [ "U002"; "U002" ] (rule_ids diags);
+  List.iter
+    (fun (d : Lint.diagnostic) ->
+      Alcotest.(check bool) "reported in the using file" true
+        (Astring.String.is_suffix ~affix:"use.ml" d.file))
+    diags
+
+let test_u003_scope_and_suppression () =
+  (* one unannotated public float fires; the annotated and the
+     [@@lint.allow]-suppressed declarations stay silent *)
+  check_ids "exactly the bare float" [ "U003" ]
+    (rule_ids (lint_dir "u003"))
+
+let test_u003_only_in_core_interfaces () =
+  let src = "val helper : float\n" in
+  match
+    Lint.lint_source Lint.default_config ~file:"lib/dag/helper.mli" src
+  with
+  | Ok diags -> check_ids "no U003 outside lib/core|lib/platform" [] (rule_ids diags)
+  | Error msg -> Alcotest.fail msg
+
+let test_exported_result_checked () =
+  (* interprocedural return units: an exported function whose body
+     disagrees with its own .mli annotation is a U002 *)
+  let env =
+    Lint.build_units_env Lint.default_config [ fixture "u002/metrics.mli" ]
+  in
+  let src = "let cost ~w ~f = w /. f\n" in
+  match
+    Lint.lint_source ~units_env:env Lint.default_config
+      ~file:(fixture "u002/metrics.ml") src
+  with
+  | Ok diags -> check_ids "body units vs signature" [ "U002" ] (rule_ids diags)
+  | Error msg -> Alcotest.fail msg
+
+let test_malformed_units_payload_is_an_error () =
+  let src = "val x : (float[@units \"furlong\"])\n" in
+  match Lint.lint_source Lint.default_config ~file:"lib/core/x.mli" src with
+  | Ok _ -> Alcotest.fail "unknown unit name must be rejected"
+  | Error msg ->
+    Alcotest.(check bool) "error names the bad unit" true
+      (Astring.String.is_infix ~affix:"furlong" msg)
+
+(* ------------------------------------------------------------------ *)
+(* the unit algebra: laws of the abelian group                         *)
+(* ------------------------------------------------------------------ *)
+
+module Units = Es_analysis.Units
+
+let arb_unit =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun a b c ->
+          Units.(mul (pow work a) (mul (pow freq b) (pow prob c))))
+        (int_range (-2) 2) (int_range (-2) 2) (int_range (-2) 2))
+  in
+  QCheck.make ~print:Units.to_string gen
+
+let qtest name arb law =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name arb law)
+
+let algebra_properties =
+  [
+    qtest "mul commutes" (QCheck.pair arb_unit arb_unit) (fun (a, b) ->
+        Units.(equal (mul a b) (mul b a)));
+    qtest "mul associates" (QCheck.triple arb_unit arb_unit arb_unit)
+      (fun (a, b, c) -> Units.(equal (mul (mul a b) c) (mul a (mul b c))));
+    qtest "dimensionless is neutral" arb_unit (fun a ->
+        Units.(equal (mul a dimensionless) a));
+    qtest "inverse cancels" arb_unit (fun a ->
+        Units.(equal (mul a (inv a)) dimensionless));
+    qtest "div is mul-inverse" (QCheck.pair arb_unit arb_unit) (fun (a, b) ->
+        Units.(equal (div a b) (mul a (inv b))));
+    qtest "pow adds exponents"
+      (QCheck.triple arb_unit QCheck.(int_range (-3) 3) QCheck.(int_range (-3) 3))
+      (fun (a, m, n) ->
+        Units.(equal (pow a (m + n)) (mul (pow a m) (pow a n))));
+    qtest "pow distributes over mul"
+      (QCheck.triple arb_unit arb_unit QCheck.(int_range (-3) 3))
+      (fun (a, b, n) ->
+        Units.(equal (pow (mul a b) n) (mul (pow a n) (pow b n))));
+    qtest "sqrt inverts squaring" arb_unit (fun a ->
+        match Units.sqrt (Units.mul a a) with
+        | Some r -> Units.equal r a
+        | None -> false);
+    qtest "printing round-trips" arb_unit (fun a ->
+        match Units.parse (Units.to_string a) with
+        | Ok a' -> Units.equal a' a
+        | Error _ -> false);
+  ]
+
+let test_derived_aliases () =
+  (* the catalogue identities the pass relies on: time = work/freq,
+     energy = work·freq², power = freq³ = energy/time *)
+  let check name a b = Alcotest.(check bool) name true (Units.equal a b) in
+  check "time" Units.time Units.(div work freq);
+  check "energy" Units.energy Units.(mul work (pow freq 2));
+  check "power" Units.power Units.(pow freq 3);
+  check "power = energy/time" Units.power Units.(div energy time);
+  (match Units.parse "speed" with
+  | Ok u -> check "speed aliases freq" u Units.freq
+  | Error e -> Alcotest.fail e);
+  match Units.parse "work^2/time" with
+  | Ok u -> check "compound grammar" u Units.(div (pow work 2) time)
+  | Error e -> Alcotest.fail e
+
 (* ------------------------------------------------------------------ *)
 (* catalogue                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -168,7 +310,26 @@ let suite =
         test_allowlist_rejects_unknown_rules;
       Alcotest.test_case "allowlist respects segment boundaries" `Quick
         test_allowlist_no_partial_segment_match;
+      Alcotest.test_case "allowlist directory entries" `Quick
+        test_allowlist_directory_entries;
+      Alcotest.test_case "U001 triggers on mixed units" `Quick
+        test_u001_triggers;
+      Alcotest.test_case "U001 suppressible at the site" `Quick
+        test_u001_suppressed;
+      Alcotest.test_case "U002 checks annotated call sites" `Quick
+        test_u002_interprocedural;
+      Alcotest.test_case "U003 scope and suppression" `Quick
+        test_u003_scope_and_suppression;
+      Alcotest.test_case "U003 limited to core interfaces" `Quick
+        test_u003_only_in_core_interfaces;
+      Alcotest.test_case "exported result units checked" `Quick
+        test_exported_result_checked;
+      Alcotest.test_case "malformed units payload errors" `Quick
+        test_malformed_units_payload_is_an_error;
+      Alcotest.test_case "derived unit aliases" `Quick test_derived_aliases;
       Alcotest.test_case "rule ids round trip" `Quick test_rule_ids_round_trip;
     ] )
 
-let () = Alcotest.run "energy_sched_lint" [ suite ]
+let () =
+  Alcotest.run "energy_sched_lint"
+    [ suite; ("units-algebra", algebra_properties) ]

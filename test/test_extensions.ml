@@ -159,9 +159,11 @@ let test_ckpt_single_segment_floor () =
   | None -> Alcotest.fail "feasible"
   | Some sol ->
     Alcotest.(check int) "one speed" 1 (Array.length sol.Checkpointing.speeds);
-    let flo = Option.get (Checkpointing.segment_floor ~rel ~work:dmin) in
-    Alcotest.(check (float 1e-9)) "at its floor"
-      (Float.max 0.2 flo) sol.Checkpointing.speeds.(0)
+    (match Checkpointing.segment_floor ~rel ~work:dmin with
+    | None -> Alcotest.fail "segment floor exists"
+    | Some flo ->
+      Alcotest.(check (float 1e-9)) "at its floor"
+        (Float.max 0.2 flo) sol.Checkpointing.speeds.(0))
 
 let test_ckpt_zero_cost_prefers_fine_segments () =
   (* without checkpoint cost, finer segmentation is never worse: the
@@ -250,8 +252,11 @@ let test_power_penalty_grows_with_slack () =
   in
   Alcotest.(check int) "all feasible" 4 (List.length penalties);
   Alcotest.(check bool) "penalty grows" true (non_decreasing penalties);
-  Alcotest.(check bool) "harmless when tight" true (List.nth penalties 0 < 1.15);
-  Alcotest.(check bool) "severe when loose" true (List.nth penalties 3 > 1.5)
+  match penalties with
+  | [ tight; _; _; loose ] ->
+    Alcotest.(check bool) "harmless when tight" true (tight < 1.15);
+    Alcotest.(check bool) "severe when loose" true (loose > 1.5)
+  | _ -> Alcotest.fail "expected four penalties"
 
 let test_power_always_on_constant () =
   (* the paper's regime: static part independent of the schedule *)

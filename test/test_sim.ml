@@ -43,8 +43,9 @@ let test_reexecution_absorbs_faults () =
   let s2 =
     List.fold_left
       (fun acc i ->
-        let e = List.hd (Schedule.executions acc i) in
-        Schedule.with_execs acc i [ e; e ])
+        match Schedule.executions acc i with
+        | e :: _ -> Schedule.with_execs acc i [ e; e ]
+        | [] -> acc)
       s
       (List.init (Dag.n d) Fun.id)
   in
@@ -65,8 +66,9 @@ let test_realised_never_exceeds_worst_case () =
   let s2 =
     List.fold_left
       (fun acc i ->
-        let e = List.hd (Schedule.executions acc i) in
-        Schedule.with_execs acc i [ e; e ])
+        match Schedule.executions acc i with
+        | e :: _ -> Schedule.with_execs acc i [ e; e ]
+        | [] -> acc)
       s
       (List.init (Dag.n d) Fun.id)
   in

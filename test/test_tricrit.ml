@@ -168,7 +168,11 @@ let test_equal_speed_reexec_optimal () =
   let w = 2. in
   let budget = 12. in
   (* equal speeds: f = max(flo, 2w/budget) *)
-  let flo = Option.get (Rel.min_reexec_speed rel ~w) in
+  let flo =
+    match Rel.min_reexec_speed rel ~w with
+    | Some f -> f
+    | None -> Alcotest.fail "re-execution speed floor exists"
+  in
   let f_eq = Float.max (Float.max flo rel.Rel.fmin) (2. *. w /. budget) in
   let e_eq = 2. *. w *. f_eq *. f_eq in
   let target = Rel.target_failure rel ~w in

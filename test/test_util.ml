@@ -76,7 +76,7 @@ let test_rng_shuffle_permutation () =
   let a = Array.init 20 Fun.id in
   Rng.shuffle r a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
 
 let test_rng_split_independent () =
