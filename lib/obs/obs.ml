@@ -5,105 +5,140 @@
 
    Handles ([counter]/[timer]) are meant to be created once at module
    initialisation and hit through a record field, so the hot path never
-   touches the registry hashtable. *)
+   touches the registry hashtable.
 
-let on = ref false
+   Domain safety: the toggle and the clock are [Atomic.t]; counter and
+   timer cells are atomic integers (durations accumulate in integer
+   nanoseconds, so [Atomic.fetch_and_add] applies); the span stack is
+   per-domain state in [Domain.DLS]; and the name->handle registries
+   are guarded by one mutex, taken only on the cold find-or-create and
+   snapshot/reset paths. *)
 
-let enabled () = !on
-let enable () = on := true
-let disable () = on := false
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
 
 (* ------------------------------------------------------------------ *)
 (* clock                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let clock = ref Unix.gettimeofday
+let clock = Atomic.make Unix.gettimeofday
 
-let set_clock f = clock := f
-let now () = !clock ()
+let set_clock f = Atomic.set clock f
+let now () = (Atomic.get clock) ()
+
+(* ------------------------------------------------------------------ *)
+(* registries                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One lock for every registry: find-or-create happens at module
+   initialisation, snapshot/reset between runs — never on the hot
+   path, so contention is a non-issue. *)
+let registry_mutex = Mutex.create ()
+
+let locked f = Mutex.protect registry_mutex f
 
 (* ------------------------------------------------------------------ *)
 (* counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { mutable n : int }
+type counter = int Atomic.t
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { n = 0 } in
+    let c = Atomic.make 0 in
     Hashtbl.add counters name c;
     c
 
-let incr c = if !on then c.n <- c.n + 1
-let add c k = if !on then c.n <- c.n + k
-let value c = c.n
+let incr c = if Atomic.get on then Atomic.incr c
+let add c k = if Atomic.get on then ignore (Atomic.fetch_and_add c k)
+let value c = Atomic.get c
 
 (* ------------------------------------------------------------------ *)
 (* timers                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type timer = { mutable total : float; mutable count : int }
+(* Durations are accumulated in integer nanoseconds: floats cannot be
+   atomically added, ints can ([fetch_and_add]), and 2^62 ns is ~146
+   years of accumulated time — far beyond any run. *)
+
+type timer = { total_ns : int Atomic.t; count : int Atomic.t }
+
+let ns_of_seconds dt = int_of_float (Float.round (Float.max dt 0. *. 1e9))
+let seconds_of_ns ns = float_of_int ns /. 1e9
 
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
 
 let timer name =
+  locked @@ fun () ->
   match Hashtbl.find_opt timers name with
   | Some t -> t
   | None ->
-    let t = { total = 0.; count = 0 } in
+    let t = { total_ns = Atomic.make 0; count = Atomic.make 0 } in
     Hashtbl.add timers name t;
     t
 
 let record t dt =
   (* clamp: a stepping wall clock must never produce negative totals *)
-  t.total <- t.total +. Float.max dt 0.;
-  t.count <- t.count + 1
+  ignore (Atomic.fetch_and_add t.total_ns (ns_of_seconds dt));
+  Atomic.incr t.count
 
 let time t f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = now () in
     Fun.protect ~finally:(fun () -> record t (now () -. t0)) f
   end
 
-let timer_total t = t.total
-let timer_count t = t.count
+let timer_total t = seconds_of_ns (Atomic.get t.total_ns)
+let timer_count t = Atomic.get t.count
 
 (* ------------------------------------------------------------------ *)
 (* spans                                                               *)
 (* ------------------------------------------------------------------ *)
 
 (* Aggregated by full path: entering "solve" then "lp" accumulates
-   under the key ["solve"; "lp"].  The stack is stored reversed. *)
+   under the key ["solve"; "lp"].  Each domain has its own nesting
+   stack (stored reversed); the aggregation cells are shared and
+   atomic, so concurrent domains entering the same path accumulate
+   into one cell without losing updates. *)
 
-type span_cell = { mutable s_total : float; mutable s_count : int }
+type span_cell = { s_total_ns : int Atomic.t; s_count : int Atomic.t }
 
 let spans : (string list, span_cell) Hashtbl.t = Hashtbl.create 64
-let span_stack : string list ref = ref []
+
+let span_stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let span_cell path =
+  locked @@ fun () ->
+  match Hashtbl.find_opt spans path with
+  | Some c -> c
+  | None ->
+    let c = { s_total_ns = Atomic.make 0; s_count = Atomic.make 0 } in
+    Hashtbl.add spans path c;
+    c
 
 let with_span name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
-    let path = name :: !span_stack in
-    span_stack := path;
-    let cell =
-      match Hashtbl.find_opt spans path with
-      | Some c -> c
-      | None ->
-        let c = { s_total = 0.; s_count = 0 } in
-        Hashtbl.add spans path c;
-        c
-    in
+    let stack = Domain.DLS.get span_stack_key in
+    let path = name :: !stack in
+    stack := path;
+    let cell = span_cell path in
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
-        cell.s_total <- cell.s_total +. Float.max (now () -. t0) 0.;
-        cell.s_count <- cell.s_count + 1;
-        span_stack := (match !span_stack with _ :: tl -> tl | [] -> []))
+        ignore (Atomic.fetch_and_add cell.s_total_ns (ns_of_seconds (now () -. t0)));
+        Atomic.incr cell.s_count;
+        stack := (match !stack with _ :: tl -> tl | [] -> []))
       f
   end
 
@@ -112,15 +147,19 @@ let with_span name f =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  (* zero in place: modules hold handles obtained at init time *)
-  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
-  Hashtbl.iter
-    (fun _ t ->
-      t.total <- 0.;
-      t.count <- 0)
-    timers;
-  Hashtbl.reset spans;
-  span_stack := []
+  (* zero in place: modules hold handles obtained at init time.  Call
+     when no other domain is mid-measurement; concurrent increments
+     land in the fresh epoch.  Only the calling domain's span stack can
+     be cleared — other domains' stacks unwind on their own. *)
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter
+        (fun _ t ->
+          Atomic.set t.total_ns 0;
+          Atomic.set t.count 0)
+        timers;
+      Hashtbl.reset spans);
+  Domain.DLS.get span_stack_key := []
 
 type timer_stat = { total : float; count : int }
 type span_stat = { path : string list; span_total : float; span_count : int }
@@ -132,15 +171,21 @@ type snapshot = {
 }
 
 let snapshot () =
+  locked @@ fun () ->
   let cs =
-    Hashtbl.fold (fun name c acc -> if c.n <> 0 then (name, c.n) :: acc else acc)
+    Hashtbl.fold
+      (fun name c acc ->
+        let n = Atomic.get c in
+        if n <> 0 then (name, n) :: acc else acc)
       counters []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let ts =
     Hashtbl.fold
       (fun name (t : timer) acc ->
-        if t.count <> 0 then (name, { total = t.total; count = t.count }) :: acc
+        let count = Atomic.get t.count in
+        if count <> 0 then
+          (name, { total = seconds_of_ns (Atomic.get t.total_ns); count }) :: acc
         else acc)
       timers []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -148,7 +193,12 @@ let snapshot () =
   let sps =
     Hashtbl.fold
       (fun path c acc ->
-        { path = List.rev path; span_total = c.s_total; span_count = c.s_count } :: acc)
+        {
+          path = List.rev path;
+          span_total = seconds_of_ns (Atomic.get c.s_total_ns);
+          span_count = Atomic.get c.s_count;
+        }
+        :: acc)
       spans []
     |> List.sort (fun a b -> List.compare String.compare a.path b.path)
   in

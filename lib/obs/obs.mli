@@ -17,9 +17,16 @@
     - state is global and process-wide, matching how the CLI tools
       use it: enable, run the solve, snapshot, render.
 
-    Not thread-safe: counters may drop increments under parallel
-    mutation, which is acceptable for telemetry; span nesting assumes
-    a single domain. *)
+    {b Domain-safe.}  The toggle and the clock are atomic; counter,
+    timer and span cells are atomic integers (durations accumulate in
+    integer nanoseconds), so concurrent increments from several
+    domains are never lost; each domain keeps its own span-nesting
+    stack in [Domain.DLS], so [with_span] nests correctly per domain
+    while aggregation cells are shared by path.  The name->handle
+    registries are mutex-guarded on the cold find-or-create and
+    snapshot paths only.  [reset] and [set_clock] are meant for
+    quiescent points (between runs): concurrent measurements straddle
+    the epoch boundary but nothing is corrupted. *)
 
 (** {1 Toggle} *)
 
@@ -29,7 +36,9 @@ val disable : unit -> unit
 
 val reset : unit -> unit
 (** Zero every counter and timer and clear all spans.  Existing
-    handles remain valid. *)
+    handles remain valid.  Call between runs, when no other domain is
+    mid-measurement; only the calling domain's span-nesting stack is
+    cleared (other domains' stacks unwind on their own). *)
 
 (** {1 Clock} *)
 

@@ -160,6 +160,89 @@ let test_pp_duration_units () =
   Alcotest.(check string) "microseconds" "150.000 us" (Obs.pp_duration 1.5e-4);
   Alcotest.(check string) "nanoseconds" "120 ns" (Obs.pp_duration 1.2e-7)
 
+(* ------------------------------------------------------------------ *)
+(* domain safety: no lost increments under parallel mutation           *)
+(* ------------------------------------------------------------------ *)
+
+let hammer_domains = 4
+let hammer_iters = 50_000
+
+let test_counter_hammer () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) @@ fun () ->
+  let c = Obs.counter "test_obs_hammer_counter" in
+  let doms =
+    List.init hammer_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to hammer_iters do
+              Obs.incr c
+            done;
+            Obs.add c 2))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "no increment lost across 4 domains"
+    (hammer_domains * (hammer_iters + 2))
+    (Obs.value c)
+
+let test_timer_hammer () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Obs.set_clock Unix.gettimeofday)
+    @@ fun () ->
+    (* a constant clock: every delta is 0, so only the exact invocation
+       count is interesting (and totals must stay finite and zero) *)
+    Obs.set_clock (fun () -> 1.);
+    let t = Obs.timer "test_obs_hammer_timer" in
+    let iters = 10_000 in
+    let doms =
+      List.init hammer_domains (fun _ ->
+          Domain.spawn (fun () ->
+              for _ = 1 to iters do
+                ignore (Obs.time t (fun () -> ()))
+              done))
+    in
+    List.iter Domain.join doms;
+    Alcotest.(check int) "no invocation lost across 4 domains"
+      (hammer_domains * iters) (Obs.timer_count t);
+    check_float "constant clock accumulates zero" 0. (Obs.timer_total t)
+
+let test_span_stacks_are_per_domain () =
+  with_obs @@ fun () ->
+  (* each domain nests its own spans; a shared-stack implementation
+     would interleave the paths and fabricate cross-domain nestings *)
+  let doms =
+    List.init hammer_domains (fun k ->
+        Domain.spawn (fun () ->
+            let name = Printf.sprintf "dom%d" k in
+            for _ = 1 to 500 do
+              Obs.with_span name (fun () -> Obs.with_span "inner" (fun () -> ()))
+            done))
+  in
+  List.iter Domain.join doms;
+  let snap = Obs.snapshot () in
+  let expected =
+    List.concat_map
+      (fun k ->
+        let name = Printf.sprintf "dom%d" k in
+        [ [ name ]; [ name; "inner" ] ])
+      (List.init hammer_domains Fun.id)
+    |> List.sort (List.compare String.compare)
+  in
+  Alcotest.(check (list (list string)))
+    "exactly the per-domain paths, no interleavings" expected
+    (List.map (fun (s : Obs.span_stat) -> s.path) snap.Obs.spans);
+  List.iter
+    (fun (s : Obs.span_stat) ->
+      Alcotest.(check int)
+        (String.concat "/" s.path ^ " count")
+        500 s.Obs.span_count)
+    snap.Obs.spans
+
 let test_json_parser_values () =
   let open Json in
   Alcotest.(check bool) "null" true (of_string "null" = Null);
@@ -213,6 +296,10 @@ let suite =
       Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip;
       Alcotest.test_case "text rendering" `Quick test_render_text_mentions_everything;
       Alcotest.test_case "pp_duration units" `Quick test_pp_duration_units;
+      Alcotest.test_case "counter hammer (4 domains)" `Quick test_counter_hammer;
+      Alcotest.test_case "timer hammer (4 domains)" `Quick test_timer_hammer;
+      Alcotest.test_case "span stacks are per-domain" `Quick
+        test_span_stacks_are_per_domain;
       Alcotest.test_case "JSON parser values" `Quick test_json_parser_values;
       Alcotest.test_case "JSON parser rejects garbage" `Quick
         test_json_parser_rejects_garbage;
