@@ -1,0 +1,223 @@
+(* lib/par scaling benchmark: the deterministic parallel workloads
+   (Pareto sweeps, Monte-Carlo fault injection) at jobs ∈ {1, 2, 4},
+   plus an estimate of the Obs disabled-path overhead on a probed
+   solver workload.  Writes a machine-readable baseline:
+
+     dune exec bench/par/main.exe                    # BENCH_PR4.json
+     dune exec bench/par/main.exe -- --out o.json    # change the path
+
+   The JSON records [cores] (Domain.recommended_domain_count) next to
+   the wall times: on a single-core container every speedup is ~1.0
+   by construction, and the honest claim is jobs-independence of the
+   *results* (asserted here per workload), not wall-clock scaling. *)
+
+module Obs = Es_obs.Obs
+module Pool = Es_par.Pool
+module Rng = Es_util.Rng
+
+let jobs_grid = [ 1; 2; 4 ]
+let reps = 3
+
+(* ------------------------------------------------------------------ *)
+(* fixed instances                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fmin = 0.2
+let fmax = 1.0
+let rel = Rel.make ~lambda0:1e-5 ~sensitivity:3. ~fmin ~fmax ~frel:0.8 ()
+
+let mapping, base_deadline =
+  let rng = Rng.create ~seed:11 in
+  let dag =
+    Generators.random_layered rng ~layers:5 ~width:4 ~density:0.5 ~wlo:1. ~whi:3.
+  in
+  let m = List_sched.schedule dag ~p:3 ~priority:List_sched.Bottom_level in
+  (m, List_sched.makespan_at_speed m ~f:fmax)
+
+let deadlines =
+  List.init 24 (fun i -> base_deadline *. (1.05 +. (0.08 *. float_of_int i)))
+
+let sim_schedule =
+  let rng = Rng.create ~seed:12 in
+  let dag = Generators.chain rng ~n:12 ~wlo:0.5 ~whi:3. in
+  let m = Mapping.single_processor dag in
+  Schedule.of_speeds m ~speeds:(Array.make (Dag.n dag) 0.6)
+
+(* Each workload returns a digest of its result so the harness can
+   assert jobs-independence, not just time it. *)
+let digest_front points =
+  String.concat ";"
+    (List.map
+       (fun (p : Pareto.point) ->
+         Printf.sprintf "%.9f:%.9f:%d" p.Pareto.deadline p.Pareto.energy
+           p.Pareto.n_reexecuted)
+       points)
+
+let workloads : (string * (Pool.t option -> string)) list =
+  [
+    ( "pareto-bicrit-front-24-deadlines",
+      fun pool ->
+        digest_front (Pareto.bicrit_front ?pool ~fmin ~fmax ~deadlines mapping) );
+    ( "pareto-tricrit-front-24-deadlines",
+      fun pool -> digest_front (Pareto.tricrit_front ?pool ~rel ~deadlines mapping) );
+    ( "sim-monte-carlo-20k-trials",
+      fun pool ->
+        let r =
+          Sim.monte_carlo_par ?pool (Rng.create ~seed:13) ~rel ~trials:20_000
+            sim_schedule
+        in
+        Printf.sprintf "%.9f:%.9f:%.9f" r.Sim.success_rate r.Sim.mean_faults
+          r.Sim.mean_realised_energy );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+(* Best of [reps] runs: the minimum is the least-noise estimator for a
+   deterministic workload on a shared machine. *)
+let best_wall f =
+  let rec go best digest k =
+    if k = 0 then (best, digest)
+    else
+      let t, d = wall f in
+      go (Float.min best t) d (k - 1)
+  in
+  let t0, d0 = wall f in
+  go t0 d0 (reps - 1)
+
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else
+    Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
+let bench_workload (name, run) =
+  let reference = run None in
+  let per_jobs =
+    List.map
+      (fun jobs ->
+        let t, digest = with_jobs jobs (fun pool -> best_wall (fun () -> run pool)) in
+        if digest <> reference then (
+          Printf.eprintf "bench/par: %s differs at --jobs %d\n" name jobs;
+          exit 1);
+        (jobs, t))
+      jobs_grid
+  in
+  let t1 =
+    match List.assoc_opt 1 per_jobs with Some t -> t | None -> nan
+  in
+  (name, per_jobs, t1)
+
+(* ------------------------------------------------------------------ *)
+(* Obs disabled-path overhead                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The telemetry contract (DESIGN.md §9, lib/obs) is that a disabled
+   probe costs one load-test-branch.  Estimate that cost directly
+   (tight incr loop against an empty-loop baseline), count how many
+   probes one solver workload actually hits (run it once enabled),
+   and express the product as a fraction of the disabled wall time. *)
+let obs_overhead () =
+  let c = Obs.counter "bench.par.disabled" in
+  Obs.disable ();
+  let iters = 20_000_000 in
+  let t_loop, () = wall (fun () -> for _ = 1 to iters do Sys.opaque_identity () done) in
+  let t_incr, () =
+    wall (fun () -> for _ = 1 to iters do Obs.incr (Sys.opaque_identity c) done)
+  in
+  let incr_ns = Float.max 0. (t_incr -. t_loop) /. float_of_int iters *. 1e9 in
+  let run =
+    match List.nth_opt workloads 1 with
+    | Some (_, run) -> run
+    | None -> fun _ -> ""
+  in
+  Obs.enable ();
+  Obs.reset ();
+  ignore (run None);
+  let snap = Obs.snapshot () in
+  Obs.disable ();
+  Obs.reset ();
+  let probes =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 snap.Obs.counters
+    + List.fold_left (fun acc (_, t) -> acc + t.Obs.count) 0 snap.Obs.timers
+  in
+  let t_dis, _ = wall (fun () -> run None) in
+  let fraction = float_of_int probes *. incr_ns *. 1e-9 /. t_dis in
+  (incr_ns, probes, t_dis, fraction)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let rec out_of = function
+    | [ "--out" ] ->
+      prerr_endline "bench/par: --out requires a path";
+      exit 2
+    | "--out" :: path :: _ -> path
+    | _ :: rest -> out_of rest
+    | [] -> "BENCH_PR4.json"
+  in
+  let path = out_of argv in
+  let cores = Domain.recommended_domain_count () in
+  let results = List.map bench_workload workloads in
+  let incr_ns, probes, t_dis, fraction = obs_overhead () in
+  let open Es_obs.Obs_json in
+  let workload_json (name, per_jobs, t1) =
+    Obj
+      [
+        ("name", Str name);
+        ("deterministic", Bool true);
+        ( "jobs",
+          List
+            (List.map
+               (fun (jobs, t) ->
+                 Obj
+                   [
+                     ("jobs", Num (float_of_int jobs));
+                     ("wall_s", Num t);
+                     ("speedup_vs_jobs1", Num (t1 /. t));
+                   ])
+               per_jobs) );
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema", Str "esched-bench/1");
+        ("baseline", Str "PR4");
+        ("cores", Num (float_of_int cores));
+        ("reps_per_point", Num (float_of_int reps));
+        ("workloads", List (List.map workload_json results));
+        ( "obs_disabled_path",
+          Obj
+            [
+              ("incr_ns", Num incr_ns);
+              ("probe_calls", Num (float_of_int probes));
+              ("workload_wall_s", Num t_dis);
+              ("overhead_fraction", Num fraction);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench/par: wrote %s (%d workloads, %d cores)\n" path
+    (List.length results) cores;
+  List.iter
+    (fun (name, per_jobs, t1) ->
+      List.iter
+        (fun (jobs, t) ->
+          Printf.printf "  %-36s jobs=%d  %8.1f ms  (x%.2f)\n" name jobs
+            (t *. 1e3) (t1 /. t))
+        per_jobs)
+    results;
+  Printf.printf "  obs disabled-path: %.2f ns/probe, %d probes, %.2f%% of wall\n"
+    incr_ns probes (100. *. fraction)

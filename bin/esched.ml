@@ -9,11 +9,36 @@
 
 module Rng = Es_util.Rng
 module Obs = Es_obs.Obs
+module Pool = Es_par.Pool
+
+(* `--jobs N`: worker domains for the sweep subcommands (pareto,
+   simulate).  Lazy pool, shut down when the command finishes; results
+   are identical for every N by the lib/par determinism contract. *)
+let jobs = ref 1
+
+let pool : Pool.t option ref = ref None
+
+let current_pool () =
+  if !jobs <= 1 then None
+  else
+    match !pool with
+    | Some _ as p -> p
+    | None ->
+      let p = Pool.create ~domains:!jobs () in
+      pool := Some p;
+      Some p
+
+let shutdown_pool () =
+  match !pool with
+  | Some p ->
+    pool := None;
+    Pool.shutdown p
+  | None -> ()
 
 (* `--stats`: enable telemetry around the run, render it afterwards *)
 let with_stats stats f =
   if stats then Obs.enable ();
-  let code = f () in
+  let code = Fun.protect ~finally:shutdown_pool f in
   if stats then begin
     print_newline ();
     print_string (Obs.render_text (Obs.snapshot ()))
@@ -134,7 +159,8 @@ let solve kind n seed p slack model_kind reliability gantt stats =
 
 (* --- simulate ------------------------------------------------------ *)
 
-let simulate kind n seed p slack trials lambda0 stats =
+let simulate kind n seed p slack trials lambda0 stats j =
+  jobs := max 1 j;
   with_stats stats @@ fun () ->
   let dag = build_dag kind ~n ~seed in
   let mapping = List_sched.schedule dag ~p ~priority:List_sched.Bottom_level in
@@ -148,8 +174,9 @@ let simulate kind n seed p slack trials lambda0 stats =
   | Some (sol, _) ->
     let report =
       Obs.with_span "monte_carlo" (fun () ->
-          Sim.monte_carlo (Rng.create ~seed:(seed + 1)) ~rel ~trials
-            sol.Heuristics.schedule)
+          Sim.monte_carlo_par ?pool:(current_pool ())
+            (Rng.create ~seed:(seed + 1))
+            ~rel ~trials sol.Heuristics.schedule)
     in
     Printf.printf "energy (worst case): %.6f\n" report.Sim.worst_case_energy;
     Printf.printf "success rate: %.5f over %d trials\n" report.Sim.success_rate trials;
@@ -163,7 +190,8 @@ let simulate kind n seed p slack trials lambda0 stats =
 
 (* --- pareto --------------------------------------------------------- *)
 
-let pareto kind n seed p reliability stats =
+let pareto kind n seed p reliability stats j =
+  jobs := max 1 j;
   with_stats stats @@ fun () ->
   let dag = build_dag kind ~n ~seed in
   let mapping = List_sched.schedule dag ~p ~priority:List_sched.Bottom_level in
@@ -174,9 +202,9 @@ let pareto kind n seed p reliability stats =
   let points =
     if reliability then begin
       let rel = Rel.make ~lambda0:1e-5 ~sensitivity:3. ~fmin ~fmax ~frel:0.8 () in
-      Pareto.tricrit_front ~rel ~deadlines mapping
+      Pareto.tricrit_front ?pool:(current_pool ()) ~rel ~deadlines mapping
     end
-    else Pareto.bicrit_front ~fmin ~fmax ~deadlines mapping
+    else Pareto.bicrit_front ?pool:(current_pool ()) ~fmin ~fmax ~deadlines mapping
   in
   let table = Es_util.Table.create ~columns:[ "D/Dmin"; "energy"; "#re-executed" ] in
   List.iter
@@ -242,6 +270,16 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print solver telemetry (counters, per-phase timers, spans) after the run.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (default: the recommended domain count \
+           of this machine).  Output is identical for every $(docv); 1 runs \
+           fully sequentially.")
+
 let generate_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a workload DAG")
@@ -271,7 +309,7 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Fault-inject a TRI-CRIT schedule")
     Term.(const simulate $ kind_arg $ n_arg $ seed_arg $ p_arg $ slack_arg $ trials
-          $ lambda0 $ stats_arg)
+          $ lambda0 $ stats_arg $ jobs_arg)
 
 let pareto_cmd =
   let reliability =
@@ -279,7 +317,8 @@ let pareto_cmd =
            ~doc:"Sweep the TRI-CRIT front instead of BI-CRIT.")
   in
   Cmd.v (Cmd.info "pareto" ~doc:"Sweep the energy/deadline trade-off")
-    Term.(const pareto $ kind_arg $ n_arg $ seed_arg $ p_arg $ reliability $ stats_arg)
+    Term.(const pareto $ kind_arg $ n_arg $ seed_arg $ p_arg $ reliability $ stats_arg
+          $ jobs_arg)
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"End-to-end pipeline demo") Term.(const demo $ seed_arg)

@@ -6,6 +6,39 @@
 module Rng = Es_util.Rng
 module Table = Es_util.Table
 module Stats = Es_util.Stats
+module Par = Es_par.Par
+module Pool = Es_par.Pool
+
+(* --jobs N: worker domains for the repetition sweeps.  The pool is
+   created lazily on first use and shut down at the end of the run;
+   with --jobs 1 everything stays on the sequential reference path.
+   Every sweep below computes its table rows through [pmap]/
+   [pmap_seeded], which keep results in submission order and give each
+   task a pre-split RNG stream — so the output is byte-identical for
+   any N (see test/cram/experiments_jobs.t). *)
+let jobs = ref 1
+
+let pool : Pool.t option ref = ref None
+
+let current_pool () =
+  if !jobs <= 1 then None
+  else
+    match !pool with
+    | Some _ as p -> p
+    | None ->
+      let p = Pool.create ~domains:!jobs () in
+      pool := Some p;
+      Some p
+
+let shutdown_pool () =
+  match !pool with
+  | Some p ->
+    pool := None;
+    Pool.shutdown p
+  | None -> ()
+
+let pmap f xs = Par.parallel_map ?pool:(current_pool ()) f xs
+let pmap_seeded ~rng f xs = Par.map_seeded ?pool:(current_pool ()) ~rng f xs
 
 let fmin = 0.2
 let fmax = 1.0
@@ -42,23 +75,23 @@ let e1 ~seed () =
   header "E1" "CONTINUOUS BI-CRIT on forks: closed form vs convex solver (R1/R2)";
   let rng = Rng.create ~seed in
   let t = Table.create ~columns:[ "n"; "E closed-form"; "E solver"; "rel gap"; "f0 gap" ] in
-  List.iter
-    (fun n ->
-      let dag = Generators.fork rng ~n ~wlo:0.5 ~whi:4. in
-      let root = Dag.weight dag 0 in
-      let children = Array.init n (fun i -> Dag.weight dag (i + 1)) in
-      let mapping = Mapping.one_task_per_proc dag in
-      let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
-      let deadline = 2. *. dmin in
-      match
-        ( Bicrit_continuous.fork_speeds ~root ~children ~deadline ~fmax:1e9,
-          Bicrit_continuous.solve_general
-            ~lo:(Array.make (n + 1) 1e-4)
-            ~hi:(Array.make (n + 1) 1e9)
-            ~deadline mapping )
-      with
-      | Some cf, Some nm ->
-        Table.add_row t
+  let rows =
+    pmap_seeded ~rng
+      (fun rng n ->
+        let dag = Generators.fork rng ~n ~wlo:0.5 ~whi:4. in
+        let root = Dag.weight dag 0 in
+        let children = Array.init n (fun i -> Dag.weight dag (i + 1)) in
+        let mapping = Mapping.one_task_per_proc dag in
+        let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
+        let deadline = 2. *. dmin in
+        match
+          ( Bicrit_continuous.fork_speeds ~root ~children ~deadline ~fmax:1e9,
+            Bicrit_continuous.solve_general
+              ~lo:(Array.make (n + 1) 1e-4)
+              ~hi:(Array.make (n + 1) 1e9)
+              ~deadline mapping )
+        with
+        | Some cf, Some nm ->
           [
             string_of_int n;
             Printf.sprintf "%.6f" cf.Bicrit_continuous.energy;
@@ -68,8 +101,10 @@ let e1 ~seed () =
             Printf.sprintf "%.2e"
               (Float.abs (cf.speeds.(0) -. nm.speeds.(0)) /. cf.speeds.(0));
           ]
-      | _ -> Table.add_row t [ string_of_int n; "infeasible"; "-"; "-"; "-" ])
-    [ 2; 4; 8; 16; 32; 64 ];
+        | _ -> [ string_of_int n; "infeasible"; "-"; "-"; "-" ])
+      [ 2; 4; 8; 16; 32; 64 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit ~caption:"Fork theorem: f0 = ((Σw³)^⅓ + w0)/D, E = ((Σw³)^⅓ + w0)³/D²" t
 
 (* ------------------------------------------------------------------ *)
@@ -80,22 +115,22 @@ let e2 ~seed () =
   header "E2" "CONTINUOUS BI-CRIT on SP graphs: Weq recursion vs convex solver (R1/R2)";
   let rng = Rng.create ~seed in
   let t = Table.create ~columns:[ "n"; "Weq"; "E = Weq³/D²"; "E solver"; "rel gap" ] in
-  List.iter
-    (fun n ->
-      let sp = Generators.random_sp rng ~n ~wlo:0.5 ~whi:3. in
-      let dag = Sp.to_dag sp in
-      let mapping = Mapping.one_task_per_proc dag in
-      let weq = Bicrit_continuous.sp_equivalent_weight sp in
-      (* the paper normalises speeds to f_ref = 1: D = 2·Weq/f_ref *)
-      let fref : (float[@units "freq"]) = 1.0 in
-      let deadline = 2. *. weq /. fref in
-      let closed = weq ** 3. /. (deadline *. deadline) in
-      match
-        Bicrit_continuous.solve_general ~lo:(Array.make n 1e-4) ~hi:(Array.make n 1e9)
-          ~deadline mapping
-      with
-      | Some nm ->
-        Table.add_row t
+  let rows =
+    pmap_seeded ~rng
+      (fun rng n ->
+        let sp = Generators.random_sp rng ~n ~wlo:0.5 ~whi:3. in
+        let dag = Sp.to_dag sp in
+        let mapping = Mapping.one_task_per_proc dag in
+        let weq = Bicrit_continuous.sp_equivalent_weight sp in
+        (* the paper normalises speeds to f_ref = 1: D = 2·Weq/f_ref *)
+        let fref : (float[@units "freq"]) = 1.0 in
+        let deadline = 2. *. weq /. fref in
+        let closed = weq ** 3. /. (deadline *. deadline) in
+        match
+          Bicrit_continuous.solve_general ~lo:(Array.make n 1e-4) ~hi:(Array.make n 1e9)
+            ~deadline mapping
+        with
+        | Some nm ->
           [
             string_of_int n;
             Printf.sprintf "%.4f" weq;
@@ -103,8 +138,10 @@ let e2 ~seed () =
             Printf.sprintf "%.6f" nm.Bicrit_continuous.energy;
             Printf.sprintf "%.2e" (Float.abs (closed -. nm.energy) /. closed);
           ]
-      | None -> Table.add_row t [ string_of_int n; "-"; "-"; "infeasible"; "-" ])
-    [ 3; 5; 8; 12; 20; 32 ];
+        | None -> [ string_of_int n; "-"; "-"; "infeasible"; "-" ])
+      [ 3; 5; 8; 12; 20; 32 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit
     ~caption:"SP recursion: series adds Weq, parallel combines as (Wa³+Wb³)^⅓" t
 
@@ -119,41 +156,43 @@ let e3 ~seed () =
     Table.create
       ~columns:[ "m levels"; "E_vdd/E_cont (geo mean)"; "E_emul/E_vdd"; "two-speed" ]
   in
-  List.iter
-    (fun m ->
-      let rng = Rng.create ~seed:(seed + m) in
-      let levels = levels_of m in
-      let ratios = ref [] and emu_ratios = ref [] and two_speed_ok = ref true in
-      for _ = 1 to instances do
-        let dag =
-          Generators.random_layered rng ~layers:4 ~width:3 ~density:0.5 ~wlo:1. ~whi:3.
-        in
-        let mapping = List_sched.schedule dag ~p:3 ~priority:List_sched.Bottom_level in
-        let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
-        let deadline = 1.6 *. dmin in
-        let n = Dag.n dag in
-        let lo, hi = uniform_bounds n in
-        match
-          ( Bicrit_vdd.solve ~deadline ~levels mapping,
-            Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping )
-        with
-        | Some vdd, Some cont ->
-          let e_vdd = Schedule.energy vdd in
-          ratios := (e_vdd /. cont.Bicrit_continuous.energy) :: !ratios;
-          if not (Bicrit_vdd.two_speed_support ~levels vdd) then two_speed_ok := false;
-          (match Bicrit_vdd.emulate_continuous ~levels ~speeds:cont.speeds mapping with
-          | Some emu -> emu_ratios := (Schedule.energy emu /. e_vdd) :: !emu_ratios
-          | None -> ())
-        | _ -> ()
-      done;
-      Table.add_row t
+  let rows =
+    pmap
+      (fun m ->
+        let rng = Rng.create ~seed:(seed + m) in
+        let levels = levels_of m in
+        let ratios = ref [] and emu_ratios = ref [] and two_speed_ok = ref true in
+        for _ = 1 to instances do
+          let dag =
+            Generators.random_layered rng ~layers:4 ~width:3 ~density:0.5 ~wlo:1. ~whi:3.
+          in
+          let mapping = List_sched.schedule dag ~p:3 ~priority:List_sched.Bottom_level in
+          let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
+          let deadline = 1.6 *. dmin in
+          let n = Dag.n dag in
+          let lo, hi = uniform_bounds n in
+          match
+            ( Bicrit_vdd.solve ~deadline ~levels mapping,
+              Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping )
+          with
+          | Some vdd, Some cont ->
+            let e_vdd = Schedule.energy vdd in
+            ratios := (e_vdd /. cont.Bicrit_continuous.energy) :: !ratios;
+            if not (Bicrit_vdd.two_speed_support ~levels vdd) then two_speed_ok := false;
+            (match Bicrit_vdd.emulate_continuous ~levels ~speeds:cont.speeds mapping with
+            | Some emu -> emu_ratios := (Schedule.energy emu /. e_vdd) :: !emu_ratios
+            | None -> ())
+          | _ -> ()
+        done;
         [
           string_of_int m;
           Printf.sprintf "%.4f" (Stats.geometric_mean (Array.of_list !ratios));
           Printf.sprintf "%.4f" (Stats.geometric_mean (Array.of_list !emu_ratios));
           (if !two_speed_ok then "yes" else "NO");
         ])
-    [ 2; 3; 5; 8; 10 ];
+      [ 2; 3; 5; 8; 10 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit
     ~caption:
       "LP optimum approaches the continuous bound as the level set refines;\n\
@@ -169,37 +208,39 @@ let e4 ~seed () =
   let t =
     Table.create ~columns:[ "delta"; "measured ratio (max)"; "bound (1+d/fmin)²"; "slack" ]
   in
-  List.iter
-    (fun delta ->
-      let rng = Rng.create ~seed:(seed + int_of_float (delta *. 1000.)) in
-      let worst = ref 1. in
-      for _ = 1 to instances do
-        let dag =
-          Generators.random_layered rng ~layers:4 ~width:3 ~density:0.5 ~wlo:1. ~whi:3.
-        in
-        let mapping = List_sched.schedule dag ~p:3 ~priority:List_sched.Bottom_level in
-        let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
-        let deadline = 1.7 *. dmin in
-        let n = Dag.n dag in
-        let lo, hi = uniform_bounds n in
-        match
-          ( Bicrit_incremental.approximate ~deadline ~fmin ~fmax ~delta mapping,
-            Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping )
-        with
-        | Some approx, Some cont ->
-          let r = Schedule.energy approx /. cont.Bicrit_continuous.energy in
-          if r > !worst then worst := r
-        | _ -> ()
-      done;
-      let bound = Bicrit_incremental.bound ~fmin ~delta ~k:None in
-      Table.add_row t
+  let rows =
+    pmap
+      (fun delta ->
+        let rng = Rng.create ~seed:(seed + int_of_float (delta *. 1000.)) in
+        let worst = ref 1. in
+        for _ = 1 to instances do
+          let dag =
+            Generators.random_layered rng ~layers:4 ~width:3 ~density:0.5 ~wlo:1. ~whi:3.
+          in
+          let mapping = List_sched.schedule dag ~p:3 ~priority:List_sched.Bottom_level in
+          let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
+          let deadline = 1.7 *. dmin in
+          let n = Dag.n dag in
+          let lo, hi = uniform_bounds n in
+          match
+            ( Bicrit_incremental.approximate ~deadline ~fmin ~fmax ~delta mapping,
+              Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping )
+          with
+          | Some approx, Some cont ->
+            let r = Schedule.energy approx /. cont.Bicrit_continuous.energy in
+            if r > !worst then worst := r
+          | _ -> ()
+        done;
+        let bound = Bicrit_incremental.bound ~fmin ~delta ~k:None in
         [
           Printf.sprintf "%.3f" delta;
           Printf.sprintf "%.4f" !worst;
           Printf.sprintf "%.4f" bound;
           Printf.sprintf "%.4f" (bound -. !worst);
         ])
-    [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.4 ];
+      [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.4 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit
     ~caption:"Measured ratio is always below the proven bound and shrinks with δ" t
 
@@ -215,43 +256,48 @@ let e5 ~seed () =
       ~columns:[ "instance"; "n"; "E exact"; "E round-up"; "ratio"; "B&B nodes" ]
   in
   let rng = Rng.create ~seed in
-  for k = 1 to 6 do
-    let dag =
-      Generators.random_layered rng ~layers:3 ~width:3 ~density:0.5 ~wlo:1. ~whi:3.
-    in
-    let mapping = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
-    let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
-    let deadline = 1.5 *. dmin in
-    match
-      ( Bicrit_discrete.solve_exact ?node_limit:None ~deadline ~levels mapping,
-        Bicrit_discrete.round_up ~deadline ~levels mapping )
-    with
-    | Some exact, Some approx ->
-      let ea = Schedule.energy approx in
-      Table.add_row t
-        [
-          Printf.sprintf "random-%d" k;
-          string_of_int (Dag.n dag);
-          Printf.sprintf "%.5f" exact.Bicrit_discrete.energy;
-          Printf.sprintf "%.5f" ea;
-          Printf.sprintf "%.4f" (ea /. exact.Bicrit_discrete.energy);
-          string_of_int exact.Bicrit_discrete.nodes_explored;
-        ]
-    | _ -> Table.add_row t [ Printf.sprintf "random-%d" k; "-"; "infeasible"; "-"; "-"; "-" ]
-  done;
+  let rows =
+    pmap_seeded ~rng
+      (fun rng k ->
+        let dag =
+          Generators.random_layered rng ~layers:3 ~width:3 ~density:0.5 ~wlo:1. ~whi:3.
+        in
+        let mapping = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
+        let dmin = List_sched.makespan_at_speed mapping ~f:fmax in
+        let deadline = 1.5 *. dmin in
+        match
+          ( Bicrit_discrete.solve_exact ?node_limit:None ~deadline ~levels mapping,
+            Bicrit_discrete.round_up ~deadline ~levels mapping )
+        with
+        | Some exact, Some approx ->
+          let ea = Schedule.energy approx in
+          [
+            Printf.sprintf "random-%d" k;
+            string_of_int (Dag.n dag);
+            Printf.sprintf "%.5f" exact.Bicrit_discrete.energy;
+            Printf.sprintf "%.5f" ea;
+            Printf.sprintf "%.4f" (ea /. exact.Bicrit_discrete.energy);
+            string_of_int exact.Bicrit_discrete.nodes_explored;
+          ]
+        | _ -> [ Printf.sprintf "random-%d" k; "-"; "infeasible"; "-"; "-"; "-" ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit ~caption:"Round-up stays close to the exact optimum on random DAGs" t;
   let t2 = Table.create ~columns:[ "2-PARTITION instance"; "expected"; "via scheduling" ] in
-  List.iter
-    (fun items ->
-      let expected = Complexity.two_partition_brute_force items in
-      let got = Complexity.decide_two_partition items in
-      Table.add_row t2
+  let rows2 =
+    pmap
+      (fun items ->
+        let expected = Complexity.two_partition_brute_force items in
+        let got = Complexity.decide_two_partition items in
         [
           String.concat "," (List.map string_of_int (Array.to_list items));
           string_of_bool expected;
           string_of_bool got;
         ])
-    [ [| 3; 1; 2 |]; [| 1; 1; 1 |]; [| 5; 3; 2; 4 |]; [| 8; 3; 3 |]; [| 7; 3; 2; 2 |] ];
+      [ [| 3; 1; 2 |]; [| 1; 1; 1 |]; [| 5; 3; 2; 4 |]; [| 8; 3; 3 |]; [| 7; 3; 2; 2 |] ]
+  in
+  List.iter (Table.add_row t2) rows2;
   emit
     ~caption:
       "Reduction gadget: chain of the items, speeds {1,2}, D = 3S/4, E* = 5S/2 —\n\
@@ -273,19 +319,22 @@ let e6 ~seed () =
       ~columns:
         [ "D/Dmin"; "E no-reexec"; "E greedy"; "E exact"; "#reexec greedy"; "#reexec exact" ]
   in
-  List.iter
-    (fun slack ->
-      let deadline = slack *. dmin in
-      let cell = function
-        | None -> ("infeasible", "-")
-        | Some (s : Tricrit_chain.solution) ->
-          (Printf.sprintf "%.5f" s.energy, string_of_int (count_true s.reexecuted))
-      in
-      let b, _ = cell (Tricrit_chain.no_reexecution ~rel ~deadline m) in
-      let g, gn = cell (Tricrit_chain.solve_greedy ~rel ~deadline m) in
-      let e, en = cell (Tricrit_chain.solve_exact ?max_n:None ~rel ~deadline m) in
-      Table.add_row t [ Printf.sprintf "%.2f" slack; b; g; e; gn; en ])
-    [ 1.0; 1.2; 1.5; 2.0; 2.5; 3.0; 4.0; 6.0 ];
+  let rows =
+    pmap
+      (fun slack ->
+        let deadline = slack *. dmin in
+        let cell = function
+          | None -> ("infeasible", "-")
+          | Some (s : Tricrit_chain.solution) ->
+            (Printf.sprintf "%.5f" s.energy, string_of_int (count_true s.reexecuted))
+        in
+        let b, _ = cell (Tricrit_chain.no_reexecution ~rel ~deadline m) in
+        let g, gn = cell (Tricrit_chain.solve_greedy ~rel ~deadline m) in
+        let e, en = cell (Tricrit_chain.solve_exact ?max_n:None ~rel ~deadline m) in
+        [ Printf.sprintf "%.2f" slack; b; g; e; gn; en ])
+      [ 1.0; 1.2; 1.5; 2.0; 2.5; 3.0; 4.0; 6.0 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit
     ~caption:
       "Re-execution engages once slack allows running below f_rel;\n\
@@ -306,24 +355,24 @@ let e7 ~seed () =
     Table.create
       ~columns:[ "D/Dmin"; "E fork-poly"; "#reexec"; "E family A"; "E family B"; "E best-of" ]
   in
-  List.iter
-    (fun slack ->
-      let deadline = slack *. dmin in
-      let poly = Tricrit_fork.solve ?grid:None ~rel ~deadline dag in
-      let h name f =
-        match f ~rel ~deadline mapping with
-        | Some (s : Heuristics.solution) -> Printf.sprintf "%.5f" s.energy
-        | None -> "inf"
-        | exception _ -> "err(" ^ name ^ ")"
-      in
-      let best =
-        match Heuristics.best_of ~rel ~deadline mapping with
-        | Some (s, _) -> Printf.sprintf "%.5f" s.Heuristics.energy
-        | None -> "inf"
-      in
-      match poly with
-      | Some p ->
-        Table.add_row t
+  let rows =
+    pmap
+      (fun slack ->
+        let deadline = slack *. dmin in
+        let poly = Tricrit_fork.solve ?grid:None ~rel ~deadline dag in
+        let h name f =
+          match f ~rel ~deadline mapping with
+          | Some (s : Heuristics.solution) -> Printf.sprintf "%.5f" s.energy
+          | None -> "inf"
+          | exception _ -> "err(" ^ name ^ ")"
+        in
+        let best =
+          match Heuristics.best_of ~rel ~deadline mapping with
+          | Some (s, _) -> Printf.sprintf "%.5f" s.Heuristics.energy
+          | None -> "inf"
+        in
+        match poly with
+        | Some p ->
           [
             Printf.sprintf "%.2f" slack;
             Printf.sprintf "%.5f" p.Tricrit_fork.energy;
@@ -332,8 +381,10 @@ let e7 ~seed () =
             h "B" Heuristics.parallel_oriented;
             best;
           ]
-      | None -> Table.add_row t [ Printf.sprintf "%.2f" slack; "infeasible"; "-"; "-"; "-"; "-" ])
-    [ 1.05; 1.2; 1.5; 2.0; 3.0; 4.0 ];
+        | None -> [ Printf.sprintf "%.2f" slack; "infeasible"; "-"; "-"; "-"; "-" ])
+      [ 1.05; 1.2; 1.5; 2.0; 3.0; 4.0 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit
     ~caption:
       "The window-split algorithm is optimal for forks; family B (slack-driven)\n\
@@ -385,48 +436,53 @@ let e8 ~seed () =
     Table.create
       ~columns:[ "class"; "slack"; "A/LB"; "B/LB"; "BEST/LB"; "wins" ]
   in
-  List.iter
-    (fun (name, build) ->
-      List.iter
-        (fun slack ->
-          let rng = Rng.create ~seed:(seed + Hashtbl.hash (name, int_of_float (slack *. 100.))) in
-          let ra = ref [] and rb = ref [] and rbest = ref [] in
-          let wins = Hashtbl.create 3 in
-          for _ = 1 to instances do
-            let m = build rng in
-            let dmin = List_sched.makespan_at_speed m ~f:fmax in
-            let deadline = slack *. dmin in
-            let lb = Lower_bounds.tricrit ~rel ~deadline m in
-            let record acc = function
-              | Some (s : Heuristics.solution) -> acc := (s.energy /. lb) :: !acc
-              | None -> ()
-            in
-            record ra (Heuristics.chain_oriented ~rel ~deadline m);
-            record rb (Heuristics.parallel_oriented ~rel ~deadline m);
-            match Heuristics.best_of ~rel ~deadline m with
-            | Some (s, who) ->
-              rbest := (s.Heuristics.energy /. lb) :: !rbest;
-              let key =
-                match who with
-                | Heuristics.Chain_oriented -> "A"
-                | Heuristics.Parallel_oriented -> "B"
-                | Heuristics.Baseline_only -> "base"
-              in
-              Hashtbl.replace wins key (1 + Option.value ~default:0 (Hashtbl.find_opt wins key))
+  let cells =
+    List.concat_map
+      (fun (name, build) ->
+        List.map (fun slack -> (name, build, slack)) [ 1.2; 2.0; 3.0 ])
+      classes
+  in
+  let rows =
+    pmap
+      (fun (name, build, slack) ->
+        let rng = Rng.create ~seed:(seed + Hashtbl.hash (name, int_of_float (slack *. 100.))) in
+        let ra = ref [] and rb = ref [] and rbest = ref [] in
+        let wins = Hashtbl.create 3 in
+        for _ = 1 to instances do
+          let m = build rng in
+          let dmin = List_sched.makespan_at_speed m ~f:fmax in
+          let deadline = slack *. dmin in
+          let lb = Lower_bounds.tricrit ~rel ~deadline m in
+          let record acc = function
+            | Some (s : Heuristics.solution) -> acc := (s.energy /. lb) :: !acc
             | None -> ()
-          done;
-          let gm acc =
-            match !acc with
-            | [] -> "-"
-            | l -> Printf.sprintf "%.4f" (Stats.geometric_mean (Array.of_list l))
           in
-          let winners =
-            Hashtbl.fold (fun k v acc -> Printf.sprintf "%s:%d %s" k v acc) wins ""
-          in
-          Table.add_row t
-            [ name; Printf.sprintf "%.1f" slack; gm ra; gm rb; gm rbest; winners ])
-        [ 1.2; 2.0; 3.0 ])
-    classes;
+          record ra (Heuristics.chain_oriented ~rel ~deadline m);
+          record rb (Heuristics.parallel_oriented ~rel ~deadline m);
+          match Heuristics.best_of ~rel ~deadline m with
+          | Some (s, who) ->
+            rbest := (s.Heuristics.energy /. lb) :: !rbest;
+            let key =
+              match who with
+              | Heuristics.Chain_oriented -> "A"
+              | Heuristics.Parallel_oriented -> "B"
+              | Heuristics.Baseline_only -> "base"
+            in
+            Hashtbl.replace wins key (1 + Option.value ~default:0 (Hashtbl.find_opt wins key))
+          | None -> ()
+        done;
+        let gm acc =
+          match !acc with
+          | [] -> "-"
+          | l -> Printf.sprintf "%.4f" (Stats.geometric_mean (Array.of_list l))
+        in
+        let winners =
+          Hashtbl.fold (fun k v acc -> Printf.sprintf "%s:%d %s" k v acc) wins ""
+        in
+        [ name; Printf.sprintf "%.1f" slack; gm ra; gm rb; gm rbest; winners ])
+      cells
+  in
+  List.iter (Table.add_row t) rows;
   emit
     ~caption:
       "The two families are complementary (A on serial structures, B on parallel\n\
@@ -449,32 +505,35 @@ let e9 ~seed () =
       ~columns:
         [ "D/Dmin"; "E exact (2^n LPs)"; "#re"; "E heuristic"; "E refined"; "E continuous" ]
   in
-  List.iter
-    (fun slack ->
-      let deadline = slack *. dmin in
-      let fmt = function
-        | None -> ("infeasible", "-")
-        | Some (s : Tricrit_vdd.solution) ->
-          (Printf.sprintf "%.5f" s.energy, string_of_int (count_true s.reexecuted))
-      in
-      let e, en = fmt (Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline ~levels m) in
-      let heuristic = Tricrit_vdd.solve_heuristic ~rel ~deadline ~levels m in
-      let h, _ = fmt heuristic in
-      let r =
-        match heuristic with
-        | None -> "-"
-        | Some sol ->
-          Printf.sprintf "%.5f"
-            (Tricrit_vdd.refine_splits ?rounds:None ~rel ~deadline ~levels m sol)
-              .Tricrit_vdd.energy
-      in
-      let c =
-        match Tricrit_chain.solve_exact ?max_n:None ~rel ~deadline m with
-        | Some s -> Printf.sprintf "%.5f" s.Tricrit_chain.energy
-        | None -> "infeasible"
-      in
-      Table.add_row t [ Printf.sprintf "%.2f" slack; e; en; h; r; c ])
-    [ 1.1; 1.5; 2.0; 3.0; 4.0 ];
+  let rows =
+    pmap
+      (fun slack ->
+        let deadline = slack *. dmin in
+        let fmt = function
+          | None -> ("infeasible", "-")
+          | Some (s : Tricrit_vdd.solution) ->
+            (Printf.sprintf "%.5f" s.energy, string_of_int (count_true s.reexecuted))
+        in
+        let e, en = fmt (Tricrit_vdd.solve_exact ?max_n:None ~rel ~deadline ~levels m) in
+        let heuristic = Tricrit_vdd.solve_heuristic ~rel ~deadline ~levels m in
+        let h, _ = fmt heuristic in
+        let r =
+          match heuristic with
+          | None -> "-"
+          | Some sol ->
+            Printf.sprintf "%.5f"
+              (Tricrit_vdd.refine_splits ?rounds:None ~rel ~deadline ~levels m sol)
+                .Tricrit_vdd.energy
+        in
+        let c =
+          match Tricrit_chain.solve_exact ?max_n:None ~rel ~deadline m with
+          | Some s -> Printf.sprintf "%.5f" s.Tricrit_chain.energy
+          | None -> "infeasible"
+        in
+        [ Printf.sprintf "%.2f" slack; e; en; h; r; c ])
+      [ 1.1; 1.5; 2.0; 3.0; 4.0 ]
+  in
+  List.iter (Table.add_row t) rows;
   emit
     ~caption:
       "With the subset fixed the problem is an LP (failure is linear in the\n\
@@ -507,7 +566,10 @@ let e10 ~seed ~trials () =
   in
   List.iter
     (fun (name, sched) ->
-      let report = Sim.monte_carlo (Rng.split rng) ~rel ~trials sched in
+      let report =
+        Sim.monte_carlo_par ?pool:(current_pool ()) (Rng.split rng) ~rel ~trials
+          sched
+      in
       for i = 0 to Dag.n dag - 1 do
         let analytic = Sim.analytic_task_failure ~rel sched i in
         let measured = report.Sim.task_failure_rate.(i) in
@@ -1020,9 +1082,19 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print solver telemetry (counters, per-phase timers) after the run.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the repetition sweeps (default: the recommended \
+           domain count of this machine).  Output is byte-identical for every \
+           $(docv); 1 runs fully sequentially.")
+
 let with_stats stats f =
   if stats then Es_obs.Obs.enable ();
-  f ();
+  Fun.protect ~finally:shutdown_pool f;
   if stats then begin
     print_newline ();
     print_string (Es_obs.Obs.render_text (Es_obs.Obs.snapshot ()))
@@ -1034,26 +1106,29 @@ let trials_arg =
 let cmd_of name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun seed csv stats ->
+      const (fun seed csv stats j ->
           csv_mode := csv;
+          jobs := max 1 j;
           with_stats stats (fun () -> f ~seed ()))
-      $ seed_arg $ csv_arg $ stats_arg)
+      $ seed_arg $ csv_arg $ stats_arg $ jobs_arg)
 
 let e10_cmd =
   Cmd.v
     (Cmd.info "e10" ~doc:"Fault-injection validation of Eq. (1)")
     Term.(
-      const (fun seed trials csv stats ->
+      const (fun seed trials csv stats j ->
           csv_mode := csv;
+          jobs := max 1 j;
           with_stats stats (fun () -> e10 ~seed ~trials ()))
-      $ seed_arg $ trials_arg $ csv_arg $ stats_arg)
+      $ seed_arg $ trials_arg $ csv_arg $ stats_arg $ jobs_arg)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in order (regenerates EXPERIMENTS.md data)")
     Term.(
-      const (fun seed trials csv stats ->
+      const (fun seed trials csv stats j ->
           csv_mode := csv;
+          jobs := max 1 j;
           with_stats stats @@ fun () ->
           e1 ~seed ();
           e2 ~seed ();
@@ -1074,7 +1149,7 @@ let all_cmd =
           e17 ~seed ();
           e18 ~seed ();
           e19 ~seed ())
-      $ seed_arg $ trials_arg $ csv_arg $ stats_arg)
+      $ seed_arg $ trials_arg $ csv_arg $ stats_arg $ jobs_arg)
 
 let () =
   let info =

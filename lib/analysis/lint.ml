@@ -85,6 +85,18 @@ let is_units_scope file =
   in
   pairs (segments file)
 
+(* E007 applies to the libraries whose values are shared across worker
+   domains by lib/par: the solver core, the schedulers and the
+   simulator.  lib/obs keeps its (atomic) counters, and binaries own
+   their CLI state, so neither is in scope. *)
+let is_domain_scope file =
+  let rec pairs = function
+    | "lib" :: (("core" | "sched" | "sim") as _next) :: _ -> true
+    | _ :: rest -> pairs rest
+    | [] -> false
+  in
+  pairs (segments file)
+
 let rec flatten_longident = function
   | Longident.Lident s -> Some [ s ]
   | Longident.Ldot (p, s) ->
@@ -196,6 +208,60 @@ let check_ident st ~lib name loc =
     report st Rules.E006 loc
       (Printf.sprintf "unsafe representation escape %s" name)
 
+(* E007: module-level mutable state.  Only constructors that *allocate
+   a mutable value at module initialisation time* count — a [let mk ()
+   = ref 0] factory is fine because each call gets a fresh cell. *)
+let mutable_creators =
+  [ "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create" ]
+
+(* Walk through the wrappers that still denote "this binding *is* that
+   allocation" ([let x : t = ref 0], [let x = let n = 8 in Hashtbl.create n])
+   down to the applied function, if any. *)
+let rec creation_head (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _)
+  | Pexp_coerce (inner, _, _)
+  | Pexp_open (_, inner)
+  | Pexp_let (_, _, inner)
+  | Pexp_sequence (_, inner) ->
+    creation_head inner
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> ident_name txt
+  | _ -> None
+
+let check_module_level_mutability st (si : Parsetree.structure_item) =
+  match si.pstr_desc with
+  | Pstr_value (_, vbs) ->
+    List.iter
+      (fun (vb : Parsetree.value_binding) ->
+        match creation_head vb.pvb_expr with
+        | Some name when List.mem name mutable_creators ->
+          report st Rules.E007 vb.pvb_loc
+            (Printf.sprintf
+               "module-level mutable state (%s) in domain-shared code; \
+                worker domains race on it — make it immutable, pass state \
+                explicitly, or justify with [@lint.allow \"E007\"]"
+               name)
+        | _ -> ())
+      vbs
+  | Pstr_type (_, decls) ->
+    List.iter
+      (fun (td : Parsetree.type_declaration) ->
+        match td.ptype_kind with
+        | Ptype_record labels ->
+          List.iter
+            (fun (ld : Parsetree.label_declaration) ->
+              if ld.pld_mutable = Asttypes.Mutable then
+                report st Rules.E007 ld.pld_loc
+                  (Printf.sprintf
+                     "mutable record field %s in domain-shared code; values \
+                      of this type race when shared across worker domains — \
+                      drop [mutable] or use Atomic.t"
+                     ld.pld_name.txt))
+            labels
+        | _ -> ())
+      decls
+  | _ -> ()
+
 let check_try_case st (case : Parsetree.case) =
   (* Guarded handlers ([with _ when p ->]) are selective; leave them. *)
   if case.pc_guard = None then
@@ -218,7 +284,7 @@ let check_try_case st (case : Parsetree.case) =
 (* AST walk                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let make_iterator st ~lib =
+let make_iterator st ~lib ~domain =
   let open Ast_iterator in
   let expr iter (e : Parsetree.expression) =
     add_suppressions st ~scope:e.pexp_loc e.pexp_attributes;
@@ -242,6 +308,7 @@ let make_iterator st ~lib =
       add_suppressions st ~scope:(whole_file si.pstr_loc) [ attr ]
     | Pstr_eval (_, attrs) -> add_suppressions st ~scope:si.pstr_loc attrs
     | _ -> ());
+    if domain then check_module_level_mutability st si;
     default_iterator.structure_item iter si
   in
   let module_binding iter (mb : Parsetree.module_binding) =
@@ -360,7 +427,10 @@ let lint_source ?(units_env = Units_rules.empty_env ()) config ~file contents =
     if Filename.check_suffix file ".mli" then (
       match Parse.interface lexbuf with
       | sg ->
-        let iter = make_iterator st ~lib:(is_lib_source file) in
+        let iter =
+          make_iterator st ~lib:(is_lib_source file)
+            ~domain:(is_domain_scope file)
+        in
         iter.signature iter sg;
         if units_enabled config then
           Units_rules.check_interface ~annotate_scope:(is_units_scope file)
@@ -371,7 +441,10 @@ let lint_source ?(units_env = Units_rules.empty_env ()) config ~file contents =
     else
       match Parse.implementation lexbuf with
       | str ->
-        let iter = make_iterator st ~lib:(is_lib_source file) in
+        let iter =
+          make_iterator st ~lib:(is_lib_source file)
+            ~domain:(is_domain_scope file)
+        in
         iter.structure iter str;
         if units_enabled config then
           Units_rules.check_structure units_env

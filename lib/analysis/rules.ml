@@ -2,9 +2,9 @@
    driver; [of_id] is forgiving about case so "e001" works on the
    command line and in [@lint.allow] payloads. *)
 
-type t = E001 | E002 | E003 | E004 | E005 | E006 | U001 | U002 | U003
+type t = E001 | E002 | E003 | E004 | E005 | E006 | E007 | U001 | U002 | U003
 
-let all = [ E001; E002; E003; E004; E005; E006; U001; U002; U003 ]
+let all = [ E001; E002; E003; E004; E005; E006; E007; U001; U002; U003 ]
 let units = [ U001; U002; U003 ]
 
 let id = function
@@ -14,6 +14,7 @@ let id = function
   | E004 -> "E004"
   | E005 -> "E005"
   | E006 -> "E006"
+  | E007 -> "E007"
   | U001 -> "U001"
   | U002 -> "U002"
   | U003 -> "U003"
@@ -26,6 +27,7 @@ let of_id s =
   | "E004" -> Some E004
   | "E005" -> Some E005
   | "E006" -> Some E006
+  | "E007" -> Some E007
   | "U001" -> Some U001
   | "U002" -> Some U002
   | "U003" -> Some U003
@@ -49,6 +51,11 @@ let describe = function
      with [@lint.allow \"E004\"]"
   | E005 -> "library module without an .mli interface"
   | E006 -> "unsafe representation escape (Obj.magic, Marshal)"
+  | E007 ->
+    "module-level mutable state (ref, Hashtbl/Queue/Stack/Buffer created \
+     at top level, mutable record field) in domain-shared solver code \
+     (lib/core, lib/sched, lib/sim); make it immutable, move it into the \
+     call, or justify with [@lint.allow \"E007\"]"
   | U001 ->
     "unit mismatch between the operands of a float addition, subtraction, \
      comparison or min/max (adding an energy to a time, comparing a speed \

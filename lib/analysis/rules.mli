@@ -7,6 +7,9 @@
     - E004: direct printing from [lib/] (and [test/]) code.
     - E005: [lib/] (or [test/]) module missing its [.mli].
     - E006: [Obj.magic] / [Marshal] anywhere.
+    - E007: module-level mutable state ([ref], [mutable] record fields,
+      [Hashtbl]/[Queue]/[Stack]/[Buffer] created at top level) in the
+      domain-shared libraries ([lib/core], [lib/sched], [lib/sim]).
     - U001: unit mismatch in a float addition/subtraction/comparison.
     - U002: unit mismatch against a [\[@units\]] annotation (call site,
       record field, constraint, exported result).
@@ -15,7 +18,7 @@
     The U rules are the dimensional-analysis pass ({!Units},
     {!Units_rules}). *)
 
-type t = E001 | E002 | E003 | E004 | E005 | E006 | U001 | U002 | U003
+type t = E001 | E002 | E003 | E004 | E005 | E006 | E007 | U001 | U002 | U003
 
 val all : t list
 (** Every rule, in catalogue order. *)

@@ -1,26 +1,33 @@
 type point = { deadline : float; energy : float; n_reexecuted : int }
 
-let bicrit_front ~fmin ~fmax ~deadlines mapping =
+(* Both sweeps solve each deadline independently, so they parallelise
+   over the pool; results come back in deadline order either way, and
+   infeasible deadlines are dropped after the join. *)
+let bicrit_front ?pool ~fmin ~fmax ~deadlines mapping =
   let n = Dag.n (Mapping.dag mapping) in
   let lo = Array.make n fmin and hi = Array.make n fmax in
-  List.filter_map
-    (fun deadline ->
-      match Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping with
-      | None -> None
-      | Some { energy; _ } -> Some { deadline; energy; n_reexecuted = 0 })
-    deadlines
+  List.filter_map Fun.id
+    (Es_par.Par.parallel_map ?pool
+       (fun deadline ->
+         match Bicrit_continuous.solve_general ~lo ~hi ~deadline mapping with
+         | None -> None
+         | Some { energy; _ } -> Some { deadline; energy; n_reexecuted = 0 })
+       deadlines)
 
-let tricrit_front ~rel ~deadlines mapping =
-  List.filter_map
-    (fun deadline ->
-      match Heuristics.best_of ~rel ~deadline mapping with
-      | None -> None
-      | Some (sol, _) ->
-        let n_reexecuted =
-          Array.fold_left (fun a b -> if b then a + 1 else a) 0 sol.Heuristics.reexecuted
-        in
-        Some { deadline; energy = sol.Heuristics.energy; n_reexecuted })
-    deadlines
+let tricrit_front ?pool ~rel ~deadlines mapping =
+  List.filter_map Fun.id
+    (Es_par.Par.parallel_map ?pool
+       (fun deadline ->
+         match Heuristics.best_of ~rel ~deadline mapping with
+         | None -> None
+         | Some (sol, _) ->
+           let n_reexecuted =
+             Array.fold_left
+               (fun a b -> if b then a + 1 else a)
+               0 sol.Heuristics.reexecuted
+           in
+           Some { deadline; energy = sol.Heuristics.energy; n_reexecuted })
+       deadlines)
 
 let dominates a b =
   a.deadline <= b.deadline && a.energy <= b.energy

@@ -13,20 +13,24 @@ type point = {
 }
 
 val bicrit_front :
+  ?pool:Es_par.Pool.t ->
   fmin:(float[@units "freq"]) ->
   fmax:(float[@units "freq"]) ->
   deadlines:(float[@units "time"]) list ->
   Mapping.t ->
   point list
 (** CONTINUOUS BI-CRIT optimum per deadline; infeasible deadlines are
-    skipped. *)
+    skipped.  With [?pool], deadlines are solved on the pool's worker
+    domains; the front is identical either way. *)
 
 val tricrit_front :
+  ?pool:Es_par.Pool.t ->
   rel:Rel.params ->
   deadlines:(float[@units "time"]) list ->
   Mapping.t ->
   point list
-(** Best-of-two-heuristics TRI-CRIT energy per deadline. *)
+(** Best-of-two-heuristics TRI-CRIT energy per deadline.  [?pool] as
+    in {!bicrit_front}. *)
 
 val dominates : point -> point -> bool
 (** [dominates a b] when [a] is no worse on both axes and better on

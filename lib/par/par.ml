@@ -1,0 +1,182 @@
+(* Deterministic combinators over Pool.  The design invariant: result
+   assembly, exception selection and RNG stream assignment depend only
+   on the input list, never on which worker ran what or in which
+   order.  See par.mli for the contract. *)
+
+exception Task_error of { index : int; exn : exn; backtrace : string }
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { exn : exn; backtrace : string }
+  | Timed_out
+
+let now () = Unix.gettimeofday ()
+
+let protected f x =
+  match f x with
+  | y -> Done y
+  | exception exn ->
+    let backtrace = Printexc.get_backtrace () in
+    Failed { exn; backtrace }
+
+(* Split [xs] into consecutive runs of [size] items, preserving order. *)
+let chunk_list ~size xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+      let chunk, rest = take size [] xs in
+      go (chunk :: acc) rest
+  in
+  go [] xs
+
+(* Default chunk size: ~4 tasks per worker so the queue stays long
+   enough to absorb uneven task costs, without per-item overhead. *)
+let default_chunk ~pool_size ~n = max 1 (n / (4 * pool_size))
+
+(* Run the thunks on the pool; thunks must not raise (callers wrap
+   with [protected]).  Returns per-thunk results in submission order.
+   With [?timeout], a thunk still running [timeout] seconds after it
+   started resolves to [Error `Timed_out]; its late real result is
+   discarded.  Queued-but-unstarted thunks cannot time out — the clock
+   starts when a worker picks the task up. *)
+let run_thunks ?timeout pool (thunks : (unit -> 'r) array) :
+    ('r, [ `Timed_out ]) result array =
+  let n = Array.length thunks in
+  let slots : ('r, [ `Timed_out ]) result option array = Array.make n None in
+  let started = Array.make n Float.nan in
+  let resolved = ref 0 in
+  let m = Mutex.create () in
+  let settled = Condition.create () in
+  Array.iteri
+    (fun i thunk ->
+      Pool.submit pool (fun () ->
+          Mutex.lock m;
+          started.(i) <- now ();
+          Mutex.unlock m;
+          let r = thunk () in
+          Mutex.lock m;
+          (match slots.(i) with
+          | None ->
+            slots.(i) <- Some (Ok r);
+            incr resolved;
+            Condition.signal settled
+          | Some _ -> () (* joiner already timed this slot out *));
+          Mutex.unlock m))
+    thunks;
+  Mutex.lock m;
+  (match timeout with
+  | None -> while !resolved < n do Condition.wait settled m done
+  | Some limit ->
+    (* The stdlib condition has no deadline wait, so the joiner polls:
+       expire overdue running tasks, then sleep briefly off-lock. *)
+    while !resolved < n do
+      let t = now () in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Some _ -> ()
+          | None ->
+            if (not (Float.is_nan started.(i))) && t -. started.(i) > limit
+            then begin
+              slots.(i) <- Some (Error `Timed_out);
+              incr resolved
+            end)
+        slots;
+      if !resolved < n then begin
+        Mutex.unlock m;
+        Unix.sleepf 0.001;
+        Mutex.lock m
+      end
+    done);
+  Mutex.unlock m;
+  Array.map
+    (function
+      | Some r -> r
+      | None -> assert false (* every slot resolved before the join *))
+    slots
+
+(* Core: per-item outcomes in submission order, chunked onto the pool.
+   [pool = None] — and any call from inside a worker — takes the
+   sequential reference path. *)
+let outcomes ?pool ?timeout ?chunk f xs =
+  let pool =
+    match pool with Some p when not (Pool.in_worker ()) -> Some p | _ -> None
+  in
+  match pool with
+  | None ->
+    List.map
+      (fun x ->
+        let t0 = now () in
+        let r = protected f x in
+        match timeout with
+        | Some limit when now () -. t0 > limit -> Timed_out
+        | _ -> r)
+      xs
+  | Some pool ->
+    let n = List.length xs in
+    if n = 0 then []
+    else begin
+      let size =
+        match chunk with
+        | Some c ->
+          if c < 1 then invalid_arg "Par: chunk must be >= 1";
+          c
+        | None -> default_chunk ~pool_size:(Pool.size pool) ~n
+      in
+      let chunks = chunk_list ~size xs in
+      let thunks =
+        Array.of_list
+          (List.map (fun items () -> List.map (protected f) items) chunks)
+      in
+      let results = run_thunks ?timeout pool thunks in
+      List.concat
+        (List.map2
+           (fun items result ->
+             match result with
+             | Ok outs -> outs
+             | Error `Timed_out -> List.map (fun _ -> Timed_out) items)
+           chunks (Array.to_list results))
+    end
+
+(* Raise the lowest-index failure; outcomes are already in submission
+   order, so the first [Failed] encountered is the one to raise. *)
+let collect_exn outs =
+  List.mapi
+    (fun index out ->
+      match out with
+      | Done y -> y
+      | Failed { exn; backtrace } -> raise (Task_error { index; exn; backtrace })
+      | Timed_out -> assert false (* no timeout on this path *))
+    outs
+
+let parallel_map ?pool ?chunk f xs = collect_exn (outcomes ?pool ?chunk f xs)
+
+let parallel_iteri ?pool ?chunk f xs =
+  let indexed = List.mapi (fun i x -> (i, x)) xs in
+  let _ : unit list =
+    parallel_map ?pool ?chunk (fun (i, x) -> f i x) indexed
+  in
+  ()
+
+let map_reduce ?pool ?chunk ~map ~reduce init xs =
+  let mapped = parallel_map ?pool ?chunk map xs in
+  List.fold_left reduce init mapped
+
+let try_map ?pool ?timeout f xs =
+  (* chunk = 1 so a timeout marks exactly the overdue task, not the
+     innocent neighbours sharing its chunk *)
+  outcomes ?pool ?timeout ~chunk:1 f xs
+
+let map_seeded ?pool ?chunk ~rng f xs =
+  (* split with fold_left, whose application order is guaranteed: the
+     order of the splits is part of the determinism contract *)
+  let seeded =
+    List.rev
+      (List.fold_left (fun acc x -> (Es_util.Rng.split rng, x) :: acc) [] xs)
+  in
+  parallel_map ?pool ?chunk (fun (r, x) -> f r x) seeded

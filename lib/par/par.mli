@@ -1,0 +1,98 @@
+(** Deterministic multicore execution combinators.
+
+    The experiment harness is an embarrassingly-parallel sweep — many
+    seeds x deadlines x speed models x heuristics — and every
+    repetition is a pure function of its inputs.  These combinators
+    run such repetitions on a {!Pool} of reusable domains while
+    keeping the {b sequential semantics observable}: results come back
+    in submission order, the RNG stream of each task is derived up
+    front with [Rng.split] (never from a shared generator mid-flight),
+    and a failure is re-raised at the join point carrying the index of
+    the task that caused it.  Consequently the output of a sweep is
+    byte-identical whether it ran on 1 domain or N — parallelism is a
+    pure wall-clock optimisation, never a semantic knob.
+
+    All combinators accept [?pool]:
+    - [None] (default): run sequentially, inline, in the calling
+      domain — the reference semantics;
+    - [Some pool]: distribute over the pool's workers.
+
+    Called from inside a pool worker, every combinator runs inline
+    (see {!Pool.in_worker}): nested parallelism degrades to sequential
+    execution instead of deadlocking on a queue the caller's own
+    worker must drain.
+
+    Determinism contract: for a pure [f], any [?pool] and any
+    [?chunk],
+    [parallel_map ?pool ?chunk f xs = List.map f xs]
+    (and likewise [map_reduce] against the sequential fold).  Effects
+    inside [f] run concurrently and must be independent per task —
+    telemetry counters ({!Es_obs.Obs}) are safe, shared mutable
+    work-state is not. *)
+
+exception Task_error of { index : int; exn : exn; backtrace : string }
+(** A task raised: [exn] is the original exception, [index] the
+    0-based submission index of the failing task.  When several tasks
+    fail, the lowest index wins — independently of scheduling. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { exn : exn; backtrace : string }
+  | Timed_out  (** the task exceeded its [?timeout]; see {!try_map} *)
+
+val parallel_map : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ?pool ?chunk f xs] is [List.map f xs], computed on
+    the pool.  [chunk] groups that many consecutive items into one
+    pool task (default: a size targeting ~4 tasks per worker, at
+    least 1); results are re-assembled in submission order either
+    way.  If any [f x] raises, the join point raises {!Task_error}
+    for the lowest failing index after all tasks settle. *)
+
+val parallel_iteri : ?pool:Pool.t -> ?chunk:int -> (int -> 'a -> unit) -> 'a list -> unit
+(** [parallel_iteri ?pool f xs] runs [f i x] for every item.  The
+    effects of distinct tasks run concurrently (write to disjoint
+    state, e.g. distinct array slots); completion order is
+    unspecified but the join only returns once every task settled.
+    Failures raise {!Task_error} as in {!parallel_map}. *)
+
+val map_reduce :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  reduce:('c -> 'b -> 'c) ->
+  'c ->
+  'a list ->
+  'c
+(** [map_reduce ?pool ~map ~reduce init xs] computes every [map x] on
+    the pool, then folds [reduce] over the results {e at the join
+    point, left-to-right in submission order} — so it equals
+    [List.fold_left reduce init (List.map map xs)] exactly, with no
+    associativity requirement on [reduce].  Parallelism covers the
+    [map] phase, which is where sweep time goes. *)
+
+val try_map :
+  ?pool:Pool.t -> ?timeout:float -> ('a -> 'b) -> 'a list -> 'b outcome list
+(** Like {!parallel_map} but total: per-task outcomes instead of a
+    re-raise, one per input in submission order.  [?timeout] (seconds,
+    per task) marks a straggler {!Timed_out} and lets the rest of the
+    sweep continue — the straggler's domain keeps running until its
+    task returns (domains cannot be cancelled) and its late result is
+    discarded.  Timeouts are measured from task start; on the
+    sequential path they are applied after the fact (the task runs to
+    completion, then is marked).  A run where no task times out is
+    deterministic; [Timed_out] outcomes themselves depend on machine
+    speed, which is the point. *)
+
+val map_seeded :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  rng:Es_util.Rng.t ->
+  (Es_util.Rng.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** [map_seeded ~rng f xs] gives each task its own generator, derived
+    with [Rng.split rng] {e up front, in submission order} — so the
+    streams tasks consume are a function of the input list alone,
+    never of scheduling.  This is the only safe way to use randomness
+    under [parallel_map]: a shared generator mutated from several
+    domains would tear its state and destroy reproducibility. *)

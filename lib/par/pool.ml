@@ -1,0 +1,87 @@
+(* Fixed-size domain pool: N workers spawned once, blocking on a
+   mutex+condition work queue, drained FIFO.  Shutdown flips a flag
+   and broadcasts; workers finish the remaining queue before exiting,
+   so submitted work is never dropped. *)
+
+type t = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  wakeup : Condition.t;  (* signalled on submit and on shutdown *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;  (* [] once joined *)
+  mutable uncaught : exn option;  (* first raise from a raw submit task *)
+  n : int;
+}
+
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.wakeup pool.mutex
+  done;
+  if Queue.is_empty pool.queue then (* stopping and drained *)
+    Mutex.unlock pool.mutex
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    (try task ()
+     with exn ->
+       (* tasks from Par combinators never raise; a raw submit that
+          does must not kill the worker silently — keep the first *)
+       Mutex.lock pool.mutex;
+       if pool.uncaught = None then pool.uncaught <- Some exn;
+       Mutex.unlock pool.mutex);
+    worker_loop pool
+  end
+
+let create ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      wakeup = Condition.create ();
+      stopping = false;
+      workers = [];
+      uncaught = None;
+      n = domains;
+    }
+  in
+  pool.workers <-
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_worker_key true;
+            worker_loop pool));
+  pool
+
+let size pool = pool.n
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  if pool.stopping then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task pool.queue;
+  Condition.signal pool.wakeup;
+  Mutex.unlock pool.mutex
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.stopping <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.wakeup;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers;
+  match pool.uncaught with
+  | Some exn when workers <> [] ->
+    pool.uncaught <- None;
+    raise exn
+  | _ -> ()
+
+let with_pool ~domains f =
+  let pool = create ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,41 @@
+(** Fixed-size domain pool with a shared work queue.
+
+    Workers are spawned once at {!create} and reused for every task
+    until {!shutdown}: spawning a domain costs orders of magnitude
+    more than running a typical sweep repetition, so the pool
+    amortises it across the whole experiment run.
+
+    Tasks are [unit -> unit] thunks executed FIFO.  A task must not
+    raise: the combinators in {!Par} wrap user functions so exceptions
+    are captured and re-raised at the join point; a raw {!submit} task
+    that does raise is recorded and re-raised at {!shutdown} rather
+    than silently killing a worker. *)
+
+type t
+
+val create : domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains blocked on an
+    empty queue.  Requires [domains >= 1].  Keep [domains] at or below
+    [Domain.recommended_domain_count () - 1] for throughput; more is
+    legal (they time-share). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task.  @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: workers drain the queue, then exit and are
+    joined.  Idempotent.  If any raw {!submit} task raised, the first
+    such exception is re-raised here (combinator-wrapped tasks never
+    raise). *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it
+    down afterwards, whether [f] returns or raises. *)
+
+val in_worker : unit -> bool
+(** [true] when called from inside a pool worker.  {!Par} combinators
+    use this to run nested parallelism inline instead of deadlocking
+    on a queue their own worker must drain. *)

@@ -1,10 +1,13 @@
+(* Immutable: mappings are shared freely across worker domains by the
+   parallel sweeps, so the constraint DAG is computed eagerly in [make]
+   instead of being memoised through a mutable field (E007). *)
 type t = {
   p : int;
   dag : Dag.t;
   order : Dag.task list array;
   proc_of : int array;
   rank_of : int array;
-  mutable cdag : Dag.t option; (* memoised constraint DAG *)
+  cdag : Dag.t;
 }
 
 let build_constraint_dag dag order =
@@ -39,10 +42,9 @@ let make ~p dag ~order =
   Array.iteri
     (fun i k -> if k < 0 then invalid_arg (Printf.sprintf "Mapping.make: task %d unmapped" i))
     proc_of;
-  let t = { p; dag; order = Array.map (fun l -> l) order; proc_of; rank_of; cdag = None } in
   (* Raises through Dag.make if the order conflicts with precedence. *)
-  t.cdag <- Some (build_constraint_dag dag order);
-  t
+  let cdag = build_constraint_dag dag order in
+  { p; dag; order = Array.map (fun l -> l) order; proc_of; rank_of; cdag }
 
 let single_processor dag =
   let topo = Array.to_list (Dag.topological_order dag) in
@@ -58,13 +60,7 @@ let order t k = t.order.(k)
 let proc_of t i = t.proc_of.(i)
 let rank_of t i = t.rank_of.(i)
 
-let constraint_dag t =
-  match t.cdag with
-  | Some d -> d
-  | None ->
-    let d = build_constraint_dag t.dag t.order in
-    t.cdag <- Some d;
-    d
+let constraint_dag t = t.cdag
 
 let load t k = Es_util.Futil.sum_by (Dag.weight t.dag) t.order.(k)
 

@@ -1,0 +1,24 @@
+The experiment sweeps must be byte-identical however many worker
+domains run them: every repetition gets its RNG stream by an up-front
+`Rng.split` in submission order, and rows are joined in submission
+order (lib/par determinism contract).
+
+E1 draws its per-n fork instances from pre-split streams:
+
+  $ experiments e1 --seed 42 --jobs 1 > e1_j1.txt
+  $ experiments e1 --seed 42 --jobs 4 > e1_j4.txt
+  $ cmp e1_j1.txt e1_j4.txt
+
+E3 seeds one generator per level count (seed + m), repetitions inside
+a task stay on that task's stream:
+
+  $ experiments e3 --seed 42 --jobs 1 > e3_j1.txt
+  $ experiments e3 --seed 42 --jobs 4 > e3_j4.txt
+  $ cmp e3_j1.txt e3_j4.txt
+
+A different seed still agrees across jobs (the contract is per-seed
+determinism, not a hard-coded table):
+
+  $ experiments e1 --seed 7 --jobs 1 > s7_j1.txt
+  $ experiments e1 --seed 7 --jobs 4 > s7_j4.txt
+  $ cmp s7_j1.txt s7_j4.txt

@@ -7,6 +7,7 @@ The rule catalogue is discoverable from the CLI.
   E004  direct printing from library code (print_string, Printf.printf); return a string / use a Buffer, or annotate a render entry point with [@lint.allow "E004"]
   E005  library module without an .mli interface
   E006  unsafe representation escape (Obj.magic, Marshal)
+  E007  module-level mutable state (ref, Hashtbl/Queue/Stack/Buffer created at top level, mutable record field) in domain-shared solver code (lib/core, lib/sched, lib/sim); make it immutable, move it into the call, or justify with [@lint.allow "E007"]
   U001  unit mismatch between the operands of a float addition, subtraction, comparison or min/max (adding an energy to a time, comparing a speed against a deadline)
   U002  unit mismatch against a [@units] annotation: argument at an annotated call site, annotated record field, value constraint, or the result of an exported function
   U003  public float in a lib/core or lib/platform interface without a [@units "..."] annotation (work, freq, time, energy, power, prob, dimensionless, and products/quotients/powers thereof)
@@ -51,6 +52,17 @@ and a non-zero exit code.
   ../fixtures/lint/e006_unsafe.ml:2:20 [E006] unsafe representation escape Obj.magic
   ../fixtures/lint/e006_unsafe.ml:3:17 [E006] unsafe representation escape Marshal.to_string
   ../fixtures/lint/e006_unsafe.ml:4:20 [E006] unsafe representation escape Marshal.from_string
+  eslint: 3 finding(s)
+  [1]
+
+E007 fires on module-level mutable state in the domain-shared
+libraries; the [@@lint.allow]-annotated Buffer and the per-call
+factory in the same fixture stay silent.
+
+  $ eslint --rules E007 ../fixtures/lint/e007
+  ../fixtures/lint/e007/lib/core/mutstate.ml:2:0 [E007] module-level mutable state (ref) in domain-shared code; worker domains race on it — make it immutable, pass state explicitly, or justify with [@lint.allow "E007"]
+  ../fixtures/lint/e007/lib/core/mutstate.ml:4:0 [E007] module-level mutable state (Hashtbl.create) in domain-shared code; worker domains race on it — make it immutable, pass state explicitly, or justify with [@lint.allow "E007"]
+  ../fixtures/lint/e007/lib/core/mutstate.ml:6:15 [E007] mutable record field total in domain-shared code; values of this type race when shared across worker domains — drop [mutable] or use Atomic.t
   eslint: 3 finding(s)
   [1]
 

@@ -1,0 +1,14 @@
+(* E007 fixture: module-level mutable state on a domain-shared path. *)
+let hits = ref 0
+
+let cache : (int, float) Hashtbl.t = Hashtbl.create 64
+
+type accum = { mutable total : float; label : string }
+
+let scratch = Buffer.create 256 [@@lint.allow "E007"]
+
+(* A factory allocates per call — not shared state, not a finding. *)
+let fresh_counter () = ref 0
+
+let bump () = incr hits
+let label a = a.label

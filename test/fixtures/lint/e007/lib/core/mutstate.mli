@@ -1,0 +1,6 @@
+(* Interface present so the fixture isolates E007 (no E005). *)
+type accum
+
+val fresh_counter : unit -> int ref
+val bump : unit -> unit
+val label : accum -> string

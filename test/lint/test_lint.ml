@@ -32,6 +32,7 @@ let trigger_fixtures =
     (Rules.E004, "e004/lib/printy.ml", 2);
     (Rules.E005, "e005/lib/nomli.ml", 1);
     (Rules.E006, "e006_unsafe.ml", 3);
+    (Rules.E007, "e007/lib/core/mutstate.ml", 3);
   ]
 
 let test_each_rule_triggers () =
@@ -100,6 +101,39 @@ let test_e004_only_applies_to_lib_paths () =
   match Lint.lint_source Lint.default_config ~file:"bin/tool.ml" src with
   | Ok diags -> check_ids "no E004 outside lib/" [] (rule_ids diags)
   | Error msg -> Alcotest.fail msg
+
+let lint_string ?(rules = Rules.all) ~file src =
+  match Lint.lint_source { Lint.rules; allow = Allowlist.empty } ~file src with
+  | Ok diags -> diags
+  | Error msg -> Alcotest.failf "lint_source %s: %s" file msg
+
+let test_e007_scoped_to_domain_libs () =
+  let src = "let total = ref 0\ntype t = { mutable n : int }\n" in
+  (* lib/obs and lib/util are not domain-shared scope; bin owns its CLI
+     state.  Restrict to E007 so the missing-.mli rule stays out of the
+     way. *)
+  List.iter
+    (fun file ->
+      check_ids
+        (Printf.sprintf "no E007 in %s" file)
+        []
+        (rule_ids (lint_string ~rules:[ Rules.E007 ] ~file src)))
+    [ "lib/obs/counters.ml"; "lib/util/pool.ml"; "bin/sweep.ml" ];
+  check_ids "E007 fires on a domain-shared path"
+    [ "E007"; "E007" ]
+    (rule_ids (lint_string ~rules:[ Rules.E007 ] ~file:"lib/sim/state.ml" src))
+
+let test_e007_factories_and_locals_ok () =
+  let src =
+    "let make () = ref 0\n\
+     let table n = Hashtbl.create n\n\
+     let count xs =\n\
+    \  let acc = ref 0 in\n\
+    \  List.iter (fun _ -> incr acc) xs;\n\
+    \  !acc\n"
+  in
+  check_ids "per-call and function-local allocation is fine" []
+    (rule_ids (lint_string ~rules:[ Rules.E007 ] ~file:"lib/sched/factory.ml" src))
 
 (* ------------------------------------------------------------------ *)
 (* allowlist                                                           *)
@@ -304,6 +338,10 @@ let suite =
         test_rules_are_toggleable;
       Alcotest.test_case "E004 scoped to lib paths" `Quick
         test_e004_only_applies_to_lib_paths;
+      Alcotest.test_case "E007 scoped to domain-shared libs" `Quick
+        test_e007_scoped_to_domain_libs;
+      Alcotest.test_case "E007 skips factories and locals" `Quick
+        test_e007_factories_and_locals_ok;
       Alcotest.test_case "allowlist suppresses by path suffix" `Quick
         test_allowlist_suppresses_by_path_suffix;
       Alcotest.test_case "allowlist rejects unknown rules" `Quick

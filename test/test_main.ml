@@ -4,6 +4,7 @@ let () =
     [
       Test_util.suite;
       Test_obs.suite;
+      Test_par.suite;
       Test_linalg.suite;
       Test_lp.suite;
       Test_numopt.suite;

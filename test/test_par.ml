@@ -1,0 +1,192 @@
+(* lib/par: determinism, exception propagation, pool lifecycle. *)
+
+module Pool = Es_par.Pool
+module Par = Es_par.Par
+module Rng = Es_util.Rng
+
+let with_pool4 f = Pool.with_pool ~domains:4 f
+
+(* A mildly uneven workload so tasks finish out of submission order. *)
+let busy n =
+  let acc = ref 0 in
+  for i = 1 to 1 + ((n * 7919) mod 997) do
+    acc := (!acc + (i * n)) mod 1_000_003
+  done;
+  !acc
+
+let test_map_ordering () =
+  let xs = List.init 200 Fun.id in
+  let expected = List.map busy xs in
+  with_pool4 (fun pool ->
+      Alcotest.(check (list int))
+        "parallel = sequential" expected
+        (Par.parallel_map ~pool busy xs);
+      Alcotest.(check (list int))
+        "chunk:1" expected
+        (Par.parallel_map ~pool ~chunk:1 busy xs);
+      Alcotest.(check (list int))
+        "chunk:17" expected
+        (Par.parallel_map ~pool ~chunk:17 busy xs));
+  Alcotest.(check (list int))
+    "no pool" expected
+    (Par.parallel_map busy xs)
+
+exception Boom of int
+
+let test_exception_index () =
+  let xs = List.init 50 Fun.id in
+  let f x = if x mod 20 = 3 then raise (Boom x) else x in
+  let check_raises name run =
+    match run () with
+    | (_ : int list) -> Alcotest.failf "%s: expected Task_error" name
+    | exception Par.Task_error { index; exn; _ } ->
+      (* tasks 3, 23 and 43 all fail; the join must pick the lowest
+         index regardless of which worker finished first *)
+      Alcotest.(check int) (name ^ ": lowest failing index") 3 index;
+      (match exn with
+      | Boom v -> Alcotest.(check int) (name ^ ": original exn") 3 v
+      | _ -> Alcotest.failf "%s: wrong exception payload" name)
+  in
+  check_raises "sequential" (fun () -> Par.parallel_map f xs);
+  with_pool4 (fun pool ->
+      check_raises "parallel" (fun () -> Par.parallel_map ~pool ~chunk:1 f xs))
+
+let test_pool_reuse () =
+  with_pool4 (fun pool ->
+      for round = 1 to 5 do
+        let xs = List.init 40 (fun i -> i + (round * 100)) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map busy xs)
+          (Par.parallel_map ~pool busy xs)
+      done;
+      Alcotest.(check int) "pool size" 4 (Pool.size pool))
+
+let test_shutdown_rejects_submit () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+let test_nested_map_runs_inline () =
+  with_pool4 (fun pool ->
+      let outer = List.init 8 Fun.id in
+      let result =
+        Par.parallel_map ~pool
+          (fun i ->
+            (* inside a worker: must fall back to inline execution
+               rather than deadlock on the queue we are draining *)
+            Alcotest.(check bool) "in worker" true (Pool.in_worker ());
+            let inner = List.init 5 (fun j -> (i * 10) + j) in
+            List.fold_left ( + ) 0 (Par.parallel_map ~pool busy inner))
+          outer
+      in
+      let expected =
+        List.map
+          (fun i ->
+            let inner = List.init 5 (fun j -> (i * 10) + j) in
+            List.fold_left ( + ) 0 (List.map busy inner))
+          outer
+      in
+      Alcotest.(check (list int)) "nested result" expected result)
+
+let test_map_reduce () =
+  let xs = List.init 300 (fun i -> i + 1) in
+  (* deliberately non-associative, non-commutative reduce: the
+     contract is exact equality with the sequential left fold *)
+  let reduce acc v = (acc * 31) + v in
+  let expected = List.fold_left reduce 7 (List.map busy xs) in
+  with_pool4 (fun pool ->
+      Alcotest.(check int)
+        "fold order preserved" expected
+        (Par.map_reduce ~pool ~map:busy ~reduce 7 xs))
+
+let test_try_map_outcomes () =
+  let f x = if x = 2 then failwith "bad task" else x * x in
+  let classify = function
+    | Par.Done v -> Printf.sprintf "done:%d" v
+    | Par.Failed { exn; _ } -> "failed:" ^ Printexc.to_string exn
+    | Par.Timed_out -> "timeout"
+  in
+  let expected =
+    [ "done:0"; "done:1"; "failed:Failure(\"bad task\")"; "done:9" ]
+  in
+  with_pool4 (fun pool ->
+      Alcotest.(check (list string))
+        "per-task outcomes" expected
+        (List.map classify (Par.try_map ~pool f [ 0; 1; 2; 3 ])))
+
+let test_try_map_timeout () =
+  with_pool4 (fun pool ->
+      let f x =
+        if x = 1 then Unix.sleepf 0.25 (* straggler *) else ();
+        x
+      in
+      let outs = Par.try_map ~pool ~timeout:0.05 f [ 0; 1; 2; 3 ] in
+      let tags =
+        List.map
+          (function
+            | Par.Done v -> string_of_int v
+            | Par.Timed_out -> "T"
+            | Par.Failed _ -> "F")
+          outs
+      in
+      Alcotest.(check (list string)) "straggler marked" [ "0"; "T"; "2"; "3" ] tags)
+
+let test_map_seeded_deterministic () =
+  let xs = List.init 30 Fun.id in
+  let draw rng x = float_of_int x +. Rng.float rng 1. in
+  let reference =
+    let rng = Rng.create ~seed:99 in
+    let seeded = List.map (fun x -> (Rng.split rng, x)) xs in
+    List.map (fun (r, x) -> draw r x) seeded
+  in
+  with_pool4 (fun pool ->
+      let rng = Rng.create ~seed:99 in
+      Alcotest.(check (list (float 0.)))
+        "streams independent of scheduling" reference
+        (Par.map_seeded ~pool ~rng draw xs));
+  let rng = Rng.create ~seed:99 in
+  Alcotest.(check (list (float 0.)))
+    "sequential path identical" reference
+    (Par.map_seeded ~rng draw xs)
+
+let test_parallel_iteri () =
+  let xs = List.init 100 (fun i -> i * 3) in
+  with_pool4 (fun pool ->
+      let slots = Array.make 100 (-1) in
+      Par.parallel_iteri ~pool (fun i x -> slots.(i) <- busy x) xs;
+      Alcotest.(check (list int))
+        "disjoint slot writes" (List.map busy xs)
+        (Array.to_list slots))
+
+(* QCheck law: parallel_map is observationally List.map, for random
+   inputs, random chunking and a pure function. *)
+let law_parallel_map_is_map =
+  QCheck.Test.make ~count:60 ~name:"parallel_map = List.map"
+    QCheck.(pair (small_list int) (int_range 1 9))
+    (fun (xs, chunk) ->
+      let f x = (x * x) - (3 * x) + 1 in
+      Pool.with_pool ~domains:3 (fun pool ->
+          Par.parallel_map ~pool ~chunk f xs = List.map f xs))
+
+let suite =
+  ( "par",
+    [
+      Alcotest.test_case "map ordering" `Quick test_map_ordering;
+      Alcotest.test_case "exception index" `Quick test_exception_index;
+      Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+      Alcotest.test_case "shutdown rejects submit" `Quick
+        test_shutdown_rejects_submit;
+      Alcotest.test_case "nested map runs inline" `Quick
+        test_nested_map_runs_inline;
+      Alcotest.test_case "map_reduce fold order" `Quick test_map_reduce;
+      Alcotest.test_case "try_map outcomes" `Quick test_try_map_outcomes;
+      Alcotest.test_case "try_map timeout" `Slow test_try_map_timeout;
+      Alcotest.test_case "map_seeded deterministic" `Quick
+        test_map_seeded_deterministic;
+      Alcotest.test_case "parallel_iteri" `Quick test_parallel_iteri;
+      QCheck_alcotest.to_alcotest law_parallel_map_is_map;
+    ] )
