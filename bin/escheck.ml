@@ -1,0 +1,84 @@
+(* escheck: seeded metamorphic / differential fuzzing of the solvers.
+
+   Draws random instances (trial t of a run with base seed S uses seed
+   S+t), checks every registered relation from Es_check.Relation,
+   shrinks any counterexample to a minimal instance and prints the
+   exact command line that replays it.  Exit code 1 when a
+   counterexample survives, so CI can gate on it. *)
+
+module Relation = Es_check.Relation
+module Runner = Es_check.Runner
+module Json = Es_obs.Obs_json
+
+let list_relations () =
+  List.iter (fun r -> Printf.printf "%-24s %s\n" r.Relation.name r.Relation.descr) Relation.all;
+  0
+
+let select = function
+  | [] -> Ok Relation.all
+  | names ->
+    let missing = List.filter (fun n -> Option.is_none (Relation.find n)) names in
+    (match missing with
+    | [] -> Ok (List.filter_map Relation.find names)
+    | _ :: _ ->
+      Error
+        (Printf.sprintf "unknown relation(s): %s (try --list)" (String.concat ", " missing)))
+
+let write_json path report =
+  let oc = open_out path in
+  output_string oc (Json.to_string (Runner.to_json report));
+  output_char oc '\n';
+  close_out oc
+
+let run seed trials relations out max_failures list_only =
+  if list_only then list_relations ()
+  else
+    match select relations with
+    | Error msg ->
+      prerr_endline ("escheck: " ^ msg);
+      2
+    | Ok rels ->
+      let report = Runner.run ~max_failures ~seed ~trials rels in
+      print_string (Runner.render report);
+      Option.iter (fun path -> write_json path report) out;
+      if Runner.ok report then 0 else 1
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base seed; trial $(i,t) uses seed N+t.")
+
+let trials_arg =
+  Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc:"Instances per relation.")
+
+let relation_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "relation" ] ~docv:"NAME"
+        ~doc:"Check only this relation (repeatable; default: all).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write a JSON report to $(docv).")
+
+let max_failures_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "max-failures" ] ~docv:"N"
+        ~doc:"Stop a relation after shrinking $(docv) counterexamples.")
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the registered relations and exit.")
+
+let cmd =
+  let info =
+    Cmd.info "escheck" ~version:"1.0.0"
+      ~doc:"Certificate checking and metamorphic fuzzing of the energy-scheduling solvers"
+  in
+  Cmd.v info
+    Term.(
+      const run $ seed_arg $ trials_arg $ relation_arg $ out_arg $ max_failures_arg $ list_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -66,6 +66,10 @@ let extract_schedule ~levels mapping alpha solution =
   in
   Schedule.make mapping ~executions
 
+let lp ~deadline ~levels mapping =
+  let lp, _, _ = build_lp ~deadline ~levels mapping in
+  lp
+
 let solve ~deadline ~levels mapping =
   let lp, alpha, _ = build_lp ~deadline ~levels mapping in
   match Problem.solve lp with

@@ -14,6 +14,16 @@
     geometrically, the optimal energy/time trade-off lives on the lower
     convex hull of the points [(1/fₖ, fₖ²)]. *)
 
+val lp :
+  deadline:(float[@units "time"]) ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  Es_lp.Problem.t
+(** The LP itself (objective and rows), exposed so that the
+    verification subsystem can solve it and certify the result against
+    the raw problem statement (primal/dual feasibility, complementary
+    slackness) independently of this module. *)
+
 val solve :
   deadline:(float[@units "time"]) ->
   levels:(float[@units "freq"]) array ->

@@ -44,16 +44,20 @@ module Obs = Es_obs.Obs
 let c_solves = Obs.counter "lp_solves"
 let t_solve = Obs.timer "lp_solve"
 
+let objective_coeffs t = Array.of_list (List.rev t.objs)
+
+let to_constr t { expr; relation; rhs } =
+  let coeffs = Array.make t.nv 0. in
+  List.iter (fun (c, v) -> coeffs.(v) <- coeffs.(v) +. c) expr;
+  { Simplex.coeffs; relation; rhs }
+
+let constraints t = List.rev_map (to_constr t) t.rows
+
 let solve ?max_iters t =
   Obs.incr c_solves;
   Obs.time t_solve @@ fun () ->
-  let obj = Array.of_list (List.rev t.objs) in
-  let to_constr { expr; relation; rhs } =
-    let coeffs = Array.make t.nv 0. in
-    List.iter (fun (c, v) -> coeffs.(v) <- coeffs.(v) +. c) expr;
-    { Simplex.coeffs; relation; rhs }
-  in
-  let constraints = List.rev_map to_constr t.rows in
+  let obj = objective_coeffs t in
+  let constraints = constraints t in
   match Simplex.solve ?max_iters ~obj constraints with
   | Simplex.Optimal { objective; solution; duals } ->
     Solution { objective; values = solution; duals }
@@ -62,6 +66,7 @@ let solve ?max_iters t =
 
 let objective s = s.objective
 let value s v = s.values.(v)
+let values s = Array.copy s.values
 let duals s = Array.copy s.duals
 let n_vars t = t.nv
 let n_constraints t = t.nr

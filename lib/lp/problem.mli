@@ -53,5 +53,20 @@ val duals : solution -> float array
     added (see {!Simplex.outcome}).  Used by the sensitivity experiment
     to read the marginal energy cost of the deadline. *)
 
+val values : solution -> float array
+(** All variable values in registration order (a fresh copy) — the raw
+    primal point a certificate checker verifies. *)
+
 val n_vars : t -> int
 val n_constraints : t -> int
+
+val objective_coeffs : t -> float array
+(** Current objective vector, one entry per registered variable.  Used
+    by {!Es_check.Lp_cert} to re-derive the LP independently of the
+    solver. *)
+
+val constraints : t -> Simplex.constr list
+(** The rows in the order they were added, densified exactly as
+    {!solve} hands them to {!Simplex.solve}.  Together with
+    {!objective_coeffs} this is the full LP statement, so a checker can
+    verify a solution without trusting the builder or the solver. *)

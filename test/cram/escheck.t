@@ -1,0 +1,45 @@
+The verification harness lists its relation catalogue:
+
+  $ escheck --list
+  lp-cert                  every simplex optimum of the VDD LP carries a valid primal-dual certificate
+  kkt                      every continuous barrier result satisfies the KKT optimality conditions
+  deadline-scaling         doubling the deadline halves continuous speeds and quarters the energy
+  work-scaling             doubling all weights doubles continuous speeds and multiplies energy by 8
+  model-dominance          E_CONT <= E_VDD <= E_INCR <= E_DISCRETE on a shared speed grid
+  closed-form-vs-barrier   the paper's chain/fork/SP closed forms agree with the barrier solver
+  simplex-vs-brute         single-processor VDD LP optimum equals the hull closed form W·H(D/W)
+  discrete-vs-brute        branch-and-bound DISCRETE optima match exhaustive enumeration
+  feasibility              every solver schedule passes Validate.check under its own model
+
+A small seeded run is deterministic, passes, and writes a JSON report:
+
+  $ escheck --seed 1 --trials 5 --out report.json
+  escheck: base seed 1, 5 trials per relation
+  
+    lp-cert                      5 run     5 pass     0 skip     0 fail
+    kkt                          5 run     5 pass     0 skip     0 fail
+    deadline-scaling             5 run     5 pass     0 skip     0 fail
+    work-scaling                 5 run     5 pass     0 skip     0 fail
+    model-dominance              5 run     5 pass     0 skip     0 fail
+    closed-form-vs-barrier       5 run     5 pass     0 skip     0 fail
+    simplex-vs-brute             5 run     5 pass     0 skip     0 fail
+    discrete-vs-brute            5 run     5 pass     0 skip     0 fail
+    feasibility                  5 run     5 pass     0 skip     0 fail
+  
+  all relations hold: no counterexample found
+
+  $ grep -c '"ok": true' report.json
+  1
+
+Reproducing a single trial with its printed seed is a supported
+invocation (this is the command shape escheck prints for
+counterexamples):
+
+  $ escheck --relation lp-cert --seed 3 --trials 1 | tail -n 1
+  all relations hold: no counterexample found
+
+Unknown relations are rejected with a non-zero exit:
+
+  $ escheck --relation no-such-relation
+  escheck: unknown relation(s): no-such-relation (try --list)
+  [2]

@@ -59,45 +59,58 @@ let test_fork_infeasible () =
   Alcotest.(check bool) "no window" true
     (Bicrit_continuous.fork_speeds ~root:5. ~children:[| 1. |] ~deadline:4. ~fmax:1. = None)
 
+(* ported onto the Es_check closed-form-vs-barrier oracle so the test
+   suite and the escheck fuzzer share one comparison implementation *)
+let closed_form_relation () =
+  match Es_check.Relation.find "closed-form-vs-barrier" with
+  | Some r -> r
+  | None -> Alcotest.fail "closed-form-vs-barrier registered"
+
+let check_relation_passes relation inst =
+  match relation.Es_check.Relation.run inst with
+  | Es_check.Relation.Pass -> ()
+  | Es_check.Relation.Skip msg -> Alcotest.fail ("unexpected skip: " ^ msg)
+  | Es_check.Relation.Fail msg ->
+    Alcotest.fail (msg ^ "\non instance:\n" ^ Es_check.Gen.describe inst)
+
 let test_fork_matches_solver () =
   let rng = Es_util.Rng.create ~seed:31 in
+  let relation = closed_form_relation () in
   for _ = 1 to 5 do
     let n = 2 + Es_util.Rng.int rng 6 in
     let dag = Generators.fork rng ~n ~wlo:0.5 ~whi:4. in
-    let root = Dag.weight dag 0 in
-    let children = Array.init n (fun i -> Dag.weight dag (i + 1)) in
     let deadline = Es_util.Rng.uniform_in rng 5. 15. in
-    let mapping = Mapping.one_task_per_proc dag in
-    match
-      ( Bicrit_continuous.fork_speeds ~root ~children ~deadline ~fmax,
-        solve_dag mapping ~deadline )
-    with
-    | Some cf, Some nm ->
-      Alcotest.(check bool)
-        (Printf.sprintf "energies agree (%g vs %g)" cf.energy nm.energy)
-        true
-        (Float.abs (cf.energy -. nm.energy) < 1e-5 *. cf.energy)
-    | None, None -> ()
-    | _ -> Alcotest.fail "feasibility disagreement"
+    let dmin = List_sched.makespan_at_speed (Mapping.one_task_per_proc dag) ~f:fmax in
+    let inst =
+      Es_check.Gen.of_dag ~shape:Es_check.Gen.Fork ~procs:(n + 1) ~slack:(deadline /. dmin)
+        ~levels:[| fmin; fmax |] dag
+    in
+    check_relation_passes relation inst
   done
 
 let test_sp_equivalent_weight_energy () =
-  (* E = Weq³ / D² for SP graphs, checked against the numeric solver *)
+  (* E = Weq³ / D² for SP graphs, checked against the numeric solver
+     through the shared Es_check oracle; the Weq recursion itself is
+     pinned against one hand-computed instance below *)
   let rng = Es_util.Rng.create ~seed:32 in
+  let relation = closed_form_relation () in
   for _ = 1 to 5 do
     let sp = Generators.random_sp rng ~n:(2 + Es_util.Rng.int rng 8) ~wlo:0.5 ~whi:3. in
     let deadline = Es_util.Rng.uniform_in rng 8. 20. in
+    let dag = Sp.to_dag sp in
     let weq = Bicrit_continuous.sp_equivalent_weight sp in
     let closed = weq ** 3. /. (deadline *. deadline) in
-    let dag = Sp.to_dag sp in
-    let mapping = Mapping.one_task_per_proc dag in
-    match solve_dag mapping ~deadline with
-    | None -> Alcotest.fail "feasible by construction"
-    | Some { energy; _ } ->
-      Alcotest.(check bool)
-        (Printf.sprintf "Weq³/D² = %g vs solver %g" closed energy)
-        true
-        (Float.abs (closed -. energy) < 1e-4 *. closed)
+    let cf = Bicrit_continuous.sp_speeds sp ~deadline in
+    Alcotest.(check bool)
+      (Printf.sprintf "sp_speeds energy %g matches Weq³/D² %g" cf.energy closed)
+      true
+      (Float.abs (closed -. cf.energy) < 1e-9 *. closed);
+    let dmin = List_sched.makespan_at_speed (Mapping.one_task_per_proc dag) ~f:fmax in
+    let inst =
+      Es_check.Gen.of_dag ~shape:Es_check.Gen.Sp ~procs:(Dag.n dag) ~slack:(deadline /. dmin)
+        ~levels:[| fmin; fmax |] dag
+    in
+    check_relation_passes relation inst
   done
 
 let test_sp_speeds_meet_deadline_and_energy () =

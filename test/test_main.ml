@@ -13,6 +13,7 @@ let () =
       Test_platform.suite;
       Test_rel.suite;
       Test_sched.suite;
+      Test_validate.suite;
       Test_sim.suite;
       Test_bicrit.suite;
       Test_vdd.suite;
@@ -26,4 +27,5 @@ let () =
       Test_extensions.suite;
       Test_extensions2.suite;
       Test_facade.suite;
+      Test_check.suite;
     ]

@@ -45,18 +45,18 @@ let test_waterfill_infeasible () =
     = None)
 
 let test_waterfill_time_exhausted_or_floors () =
-  (* either the deadline is used up, or every task sits on its floor *)
+  (* ported onto the Es_check waterfilling oracle, which checks the
+     full KKT structure: bounds, common water level above the floors,
+     and deadline saturation unless every task is floor-clamped *)
   let eff_weights = [| 1.; 2.; 1.5 |] and floors = [| 0.4; 0.3; 0.5 |] in
   match Tricrit_chain.waterfill ~eff_weights ~floors ~fmax:1. ~deadline:9. with
   | None -> Alcotest.fail "feasible"
   | Some speeds ->
-    let time = ref 0. in
-    Array.iteri (fun i f -> time := !time +. (eff_weights.(i) /. f)) speeds;
-    let all_on_floor =
-      Array.for_all Fun.id (Array.mapi (fun i f -> Float.abs (f -. floors.(i)) < 1e-9) speeds)
+    let verdict =
+      Es_check.Kkt.check_waterfill ~tol:1e-6 ~eff_weights ~floors ~fmax:1. ~deadline:9.
+        ~speeds
     in
-    Alcotest.(check bool) "KKT: deadline tight or floors active" true
-      (Float.abs (!time -. 9.) < 1e-6 || all_on_floor)
+    Alcotest.(check bool) (Es_check.Kkt.describe verdict) true (Es_check.Kkt.is_ok verdict)
 
 (* chain solvers *)
 

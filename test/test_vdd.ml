@@ -40,35 +40,23 @@ let test_two_speed_support () =
     [ 53; 54; 55; 56 ]
 
 let test_lp_between_continuous_and_discrete () =
-  let mapping, dmin = instance ~seed:57 ~p:2 in
-  let deadline = 1.5 *. dmin in
-  let n = Dag.n (Mapping.dag mapping) in
-  let continuous =
-    match
-      Bicrit_continuous.solve_general ~lo:(Array.make n 0.2) ~hi:(Array.make n 1.)
-        ~deadline mapping
-    with
-    | Some r -> r.Bicrit_continuous.energy
-    | None -> Alcotest.fail "continuous feasible"
+  (* ported onto the Es_check model-dominance oracle (which checks the
+     full E_CONT <= E_VDD <= E_INCR <= E_DISCRETE chain plus round-up
+     dominance); the instance is kept small enough that the oracle
+     runs the exact solvers instead of skipping *)
+  let relation =
+    match Es_check.Relation.find "model-dominance" with
+    | Some r -> r
+    | None -> Alcotest.fail "model-dominance registered"
   in
-  let vdd =
-    match Bicrit_vdd.energy ~deadline ~levels mapping with
-    | Some e -> e
-    | None -> Alcotest.fail "vdd feasible"
-  in
-  let discrete =
-    match Bicrit_discrete.solve_exact ?node_limit:None ~deadline ~levels mapping with
-    | Some r -> r.Bicrit_discrete.energy
-    | None -> Alcotest.fail "discrete feasible"
-  in
-  Alcotest.(check bool)
-    (Printf.sprintf "cont %.4f <= vdd %.4f" continuous vdd)
-    true
-    (continuous <= vdd *. (1. +. 1e-6));
-  Alcotest.(check bool)
-    (Printf.sprintf "vdd %.4f <= discrete %.4f" vdd discrete)
-    true
-    (vdd <= discrete *. (1. +. 1e-6))
+  let rng = Es_util.Rng.create ~seed:57 in
+  let dag = Generators.random_layered rng ~layers:3 ~width:2 ~density:0.5 ~wlo:1. ~whi:3. in
+  let inst = Es_check.Gen.of_dag ~shape:Es_check.Gen.Layered ~procs:2 ~slack:1.5 ~levels dag in
+  match relation.Es_check.Relation.run inst with
+  | Es_check.Relation.Pass -> ()
+  | Es_check.Relation.Skip msg -> Alcotest.fail ("oracle must not skip here: " ^ msg)
+  | Es_check.Relation.Fail msg ->
+    Alcotest.fail (msg ^ "\non instance:\n" ^ Es_check.Gen.describe inst)
 
 let test_lp_tightens_with_more_levels () =
   (* refining the level set can only help *)
@@ -136,7 +124,12 @@ let test_single_task_exact_mix () =
   (* α·0.5 + β·1 = 1, α + β = 1.5 → β = 0.5, α = 1.
      energy = 0.125·1 + 1·0.5 = 0.625 *)
   match Bicrit_vdd.energy ~deadline ~levels mapping with
-  | Some e -> Alcotest.(check (float 1e-7)) "analytic mix" 0.625 e
+  | Some e ->
+    Alcotest.(check (float 1e-7)) "analytic mix" 0.625 e;
+    (* the Es_check hull oracle derives the same value geometrically *)
+    (match Es_check.Brute.vdd_chain_optimum ~levels ~weights:[| 1. |] ~deadline with
+    | Some h -> Alcotest.(check (float 1e-9)) "hull oracle agrees" h e
+    | None -> Alcotest.fail "hull oracle feasible")
   | None -> Alcotest.fail "feasible"
 
 let qcheck_vdd_below_best_single_speed =
