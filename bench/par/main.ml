@@ -3,13 +3,24 @@
    plus an estimate of the Obs disabled-path overhead on a probed
    solver workload.  Writes a machine-readable baseline:
 
-     dune exec bench/par/main.exe                    # BENCH_PR4.json
+     dune exec bench/par/main.exe                    # BENCH_PR6.json
      dune exec bench/par/main.exe -- --out o.json    # change the path
+     dune exec bench/par/main.exe -- --gate          # assert speedups
 
-   The JSON records [cores] (Domain.recommended_domain_count) next to
-   the wall times: on a single-core container every speedup is ~1.0
-   by construction, and the honest claim is jobs-independence of the
-   *results* (asserted here per workload), not wall-clock scaling. *)
+   Honesty about cores (schema esched-bench/2): a multi-job point is
+   only a *timing* when the machine actually has that many cores.  On
+   an undersized host (e.g. the 1-core reference container) the point
+   is still executed once — the digest equality check across job
+   counts is the determinism contract and always applies — but it is
+   recorded with ["valid": false] and a ["skipped_reason"] instead of
+   a speedup, so a recorded 0.28x "slowdown" can never again be read
+   as an engine regression when it was only oversubscription.
+
+   [--gate] turns the baseline into a regression gate: on a >= 4-core
+   machine the Pareto-front and Monte-Carlo workloads must reach a
+   speedup >= 1.5x at jobs=4, or the run exits 1 (after writing the
+   JSON, so CI still uploads the evidence).  On fewer cores the gate
+   records itself as not applied and passes. *)
 
 module Obs = Es_obs.Obs
 module Pool = Es_par.Pool
@@ -17,6 +28,14 @@ module Rng = Es_util.Rng
 
 let jobs_grid = [ 1; 2; 4 ]
 let reps = 3
+let gate_threshold = 1.5
+let gate_jobs = 4
+let gate_min_cores = 4
+
+(* The workloads the CI gate asserts scaling on (ISSUE 6: at least the
+   Pareto front and Monte-Carlo). *)
+let gated_workloads =
+  [ "pareto-bicrit-front-24-deadlines"; "sim-monte-carlo-20k-trials" ]
 
 (* ------------------------------------------------------------------ *)
 (* fixed instances                                                     *)
@@ -93,25 +112,56 @@ let best_wall f =
 
 let with_jobs jobs f =
   if jobs <= 1 then f None
-  else
-    Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+  else Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 
-let bench_workload (name, run) =
+type point = {
+  p_jobs : int;
+  p_wall : float;
+  p_valid : bool;  (* false: timing taken on fewer cores than jobs *)
+  p_skipped_reason : string option;
+}
+
+let bench_workload ~cores (name, run) =
   let reference = run None in
-  let per_jobs =
+  let check_digest jobs digest =
+    if digest <> reference then begin
+      Printf.eprintf "bench/par: %s differs at --jobs %d\n" name jobs;
+      exit 1
+    end
+  in
+  let points =
     List.map
       (fun jobs ->
-        let t, digest = with_jobs jobs (fun pool -> best_wall (fun () -> run pool)) in
-        if digest <> reference then (
-          Printf.eprintf "bench/par: %s differs at --jobs %d\n" name jobs;
-          exit 1);
-        (jobs, t))
+        if jobs <= cores then begin
+          let t, digest =
+            with_jobs jobs (fun pool -> best_wall (fun () -> run pool))
+          in
+          check_digest jobs digest;
+          { p_jobs = jobs; p_wall = t; p_valid = true; p_skipped_reason = None }
+        end
+        else begin
+          (* determinism is still asserted (one run), the timing is
+             not a scaling data point on this machine *)
+          let t, digest = with_jobs jobs (fun pool -> wall (fun () -> run pool)) in
+          check_digest jobs digest;
+          {
+            p_jobs = jobs;
+            p_wall = t;
+            p_valid = false;
+            p_skipped_reason =
+              Some (Printf.sprintf "cores=%d < jobs=%d" cores jobs);
+          }
+        end)
       jobs_grid
   in
   let t1 =
-    match List.assoc_opt 1 per_jobs with Some t -> t | None -> nan
+    match List.find_opt (fun p -> p.p_jobs = 1) points with
+    | Some p -> p.p_wall
+    | None -> nan
   in
-  (name, per_jobs, t1)
+  (name, points, t1)
+
+let speedup ~t1 p = t1 /. p.p_wall
 
 (* ------------------------------------------------------------------ *)
 (* Obs disabled-path overhead                                          *)
@@ -151,49 +201,83 @@ let obs_overhead () =
   (incr_ns, probes, t_dis, fraction)
 
 (* ------------------------------------------------------------------ *)
+(* gate                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns the failures: (workload, measured speedup at [gate_jobs]). *)
+let gate_failures results =
+  List.filter_map
+    (fun (name, points, t1) ->
+      if not (List.mem name gated_workloads) then None
+      else
+        match List.find_opt (fun p -> p.p_jobs = gate_jobs && p.p_valid) points with
+        | None -> Some (name, nan) (* no valid jobs=4 point: fail loudly *)
+        | Some p ->
+          let s = speedup ~t1 p in
+          if s >= gate_threshold then None else Some (name, s))
+    results
+
+(* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
+  let gate = List.mem "--gate" argv in
   let rec out_of = function
     | [ "--out" ] ->
       prerr_endline "bench/par: --out requires a path";
       exit 2
     | "--out" :: path :: _ -> path
     | _ :: rest -> out_of rest
-    | [] -> "BENCH_PR4.json"
+    | [] -> "BENCH_PR6.json"
   in
   let path = out_of argv in
   let cores = Domain.recommended_domain_count () in
-  let results = List.map bench_workload workloads in
+  let results = List.map (bench_workload ~cores) workloads in
   let incr_ns, probes, t_dis, fraction = obs_overhead () in
+  let gate_applied = gate && cores >= gate_min_cores in
+  let failures = if gate_applied then gate_failures results else [] in
   let open Es_obs.Obs_json in
-  let workload_json (name, per_jobs, t1) =
+  let point_json t1 p =
+    Obj
+      ([
+         ("jobs", Num (float_of_int p.p_jobs));
+         ("wall_s", Num p.p_wall);
+         ("valid", Bool p.p_valid);
+       ]
+      @ (if p.p_valid then [ ("speedup_vs_jobs1", Num (speedup ~t1 p)) ] else [])
+      @
+      match p.p_skipped_reason with
+      | Some reason -> [ ("skipped_reason", Str reason) ]
+      | None -> [])
+  in
+  let workload_json (name, points, t1) =
     Obj
       [
         ("name", Str name);
         ("deterministic", Bool true);
-        ( "jobs",
-          List
-            (List.map
-               (fun (jobs, t) ->
-                 Obj
-                   [
-                     ("jobs", Num (float_of_int jobs));
-                     ("wall_s", Num t);
-                     ("speedup_vs_jobs1", Num (t1 /. t));
-                   ])
-               per_jobs) );
+        ("gated", Bool (List.mem name gated_workloads));
+        ("jobs", List (List.map (point_json t1) points));
       ]
   in
   let json =
     Obj
       [
-        ("schema", Str "esched-bench/1");
-        ("baseline", Str "PR4");
+        ("schema", Str "esched-bench/2");
+        ("baseline", Str "PR6");
         ("cores", Num (float_of_int cores));
         ("reps_per_point", Num (float_of_int reps));
+        ( "gate",
+          Obj
+            [
+              ("requested", Bool gate);
+              ("applied", Bool gate_applied);
+              ("threshold_speedup", Num gate_threshold);
+              ("at_jobs", Num (float_of_int gate_jobs));
+              ("min_cores", Num (float_of_int gate_min_cores));
+              ("passed", Bool (failures = []));
+            ] );
         ("workloads", List (List.map workload_json results));
         ( "obs_disabled_path",
           Obj
@@ -212,12 +296,37 @@ let () =
   Printf.printf "bench/par: wrote %s (%d workloads, %d cores)\n" path
     (List.length results) cores;
   List.iter
-    (fun (name, per_jobs, t1) ->
+    (fun (name, points, t1) ->
       List.iter
-        (fun (jobs, t) ->
-          Printf.printf "  %-36s jobs=%d  %8.1f ms  (x%.2f)\n" name jobs
-            (t *. 1e3) (t1 /. t))
-        per_jobs)
+        (fun p ->
+          match p.p_skipped_reason with
+          | Some reason ->
+            Printf.printf "  %-36s jobs=%d  %8.1f ms  (skipped: %s)\n" name
+              p.p_jobs (p.p_wall *. 1e3) reason
+          | None ->
+            Printf.printf "  %-36s jobs=%d  %8.1f ms  (x%.2f)\n" name p.p_jobs
+              (p.p_wall *. 1e3) (speedup ~t1 p))
+        points)
     results;
   Printf.printf "  obs disabled-path: %.2f ns/probe, %d probes, %.2f%% of wall\n"
-    incr_ns probes (100. *. fraction)
+    incr_ns probes (100. *. fraction);
+  if gate then begin
+    if not gate_applied then
+      Printf.printf
+        "  gate: not applied (cores=%d < %d); determinism checked, scaling \
+         unasserted\n"
+        cores gate_min_cores
+    else if failures = [] then
+      Printf.printf "  gate: passed (speedup >= %.1fx at jobs=%d on %d cores)\n"
+        gate_threshold gate_jobs cores
+    else begin
+      List.iter
+        (fun (name, s) ->
+          Printf.eprintf
+            "bench/par: GATE FAILURE %s: speedup %.2fx at jobs=%d < required \
+             %.1fx (cores=%d)\n"
+            name s gate_jobs gate_threshold cores)
+        failures;
+      exit 1
+    end
+  end

@@ -9,14 +9,19 @@ module Stats = Es_util.Stats
 module Par = Es_par.Par
 module Pool = Es_par.Pool
 
-(* --jobs N: worker domains for the repetition sweeps.  The pool is
-   created lazily on first use and shut down at the end of the run;
-   with --jobs 1 everything stays on the sequential reference path.
-   Every sweep below computes its table rows through [pmap]/
-   [pmap_seeded], which keep results in submission order and give each
-   task a pre-split RNG stream — so the output is byte-identical for
-   any N (see test/cram/experiments_jobs.t). *)
+(* --jobs N: worker domains for the repetition sweeps (0 = the
+   machine's recommended domain count).  The pool is created lazily on
+   first use and shut down at the end of the run; with --jobs 1
+   everything stays on the sequential reference path.  Every sweep
+   below computes its table rows through [pmap]/[pmap_seeded], which
+   keep results in submission order and give each task a pre-split RNG
+   stream — so the output is byte-identical for any N (see
+   test/cram/experiments_jobs.t); chunk granularity is auto-tuned by
+   lib/par from a per-item cost probe. *)
 let jobs = ref 1
+
+let set_jobs j =
+  jobs := (if j <= 0 then Domain.recommended_domain_count () else j)
 
 let pool : Pool.t option ref = ref None
 
@@ -1108,7 +1113,7 @@ let cmd_of name doc f =
     Term.(
       const (fun seed csv stats j ->
           csv_mode := csv;
-          jobs := max 1 j;
+          set_jobs j;
           with_stats stats (fun () -> f ~seed ()))
       $ seed_arg $ csv_arg $ stats_arg $ jobs_arg)
 
@@ -1118,7 +1123,7 @@ let e10_cmd =
     Term.(
       const (fun seed trials csv stats j ->
           csv_mode := csv;
-          jobs := max 1 j;
+          set_jobs j;
           with_stats stats (fun () -> e10 ~seed ~trials ()))
       $ seed_arg $ trials_arg $ csv_arg $ stats_arg $ jobs_arg)
 
@@ -1128,7 +1133,7 @@ let all_cmd =
     Term.(
       const (fun seed trials csv stats j ->
           csv_mode := csv;
-          jobs := max 1 j;
+          set_jobs j;
           with_stats stats @@ fun () ->
           e1 ~seed ();
           e2 ~seed ();

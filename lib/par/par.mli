@@ -22,6 +22,16 @@
     execution instead of deadlocking on a queue the caller's own
     worker must drain.
 
+    {b Chunking.}  Work is submitted in chunks of consecutive items.
+    An explicit [?chunk] pins the size; otherwise the combinator
+    probes the first few items inline, estimates the per-item cost,
+    and sizes chunks to ~1 ms of work each (clamped so every worker
+    still gets at least two chunks for stealing to balance) — cheap
+    items get coarse chunks that amortise queue traffic, expensive
+    items get fine chunks that spread across the workers.  The probed
+    items' results are kept, and chunking is invisible in the output:
+    any [?chunk] and any probe decision yield the same bytes.
+
     Determinism contract: for a pure [f], any [?pool] and any
     [?chunk],
     [parallel_map ?pool ?chunk f xs = List.map f xs]
@@ -40,20 +50,31 @@ type 'a outcome =
   | Failed of { exn : exn; backtrace : string }
   | Timed_out  (** the task exceeded its [?timeout]; see {!try_map} *)
 
+val default_chunk : pool_size:int -> n:int -> int
+(** The static fallback chunk size used when no cost probe is possible
+    (the {!try_map} timeout path, {!parallel_iteri}): [n] items split
+    into ~4 tasks per worker by {e ceiling} division, never below a
+    floor of 2 items per chunk — so small sweeps ([n < 4 * pool_size],
+    where floor division used to degenerate to one task per item) stay
+    coarse enough to amortise queue traffic.
+    @raise Invalid_argument when [pool_size < 1] or [n < 0]. *)
+
 val parallel_map : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map ?pool ?chunk f xs] is [List.map f xs], computed on
     the pool.  [chunk] groups that many consecutive items into one
-    pool task (default: a size targeting ~4 tasks per worker, at
-    least 1); results are re-assembled in submission order either
-    way.  If any [f x] raises, the join point raises {!Task_error}
-    for the lowest failing index after all tasks settle. *)
+    pool task (default: probe-tuned, see the chunking note above);
+    results are re-assembled in submission order either way.  If any
+    [f x] raises, the join point raises {!Task_error} for the lowest
+    failing index after all tasks settle. *)
 
 val parallel_iteri : ?pool:Pool.t -> ?chunk:int -> (int -> 'a -> unit) -> 'a list -> unit
 (** [parallel_iteri ?pool f xs] runs [f i x] for every item.  The
     effects of distinct tasks run concurrently (write to disjoint
     state, e.g. distinct array slots); completion order is
     unspecified but the join only returns once every task settled.
-    Failures raise {!Task_error} as in {!parallel_map}. *)
+    No per-item result list is materialised — each chunk reports only
+    its first failure.  Failures raise {!Task_error} as in
+    {!parallel_map}. *)
 
 val map_reduce :
   ?pool:Pool.t ->
@@ -79,7 +100,10 @@ val try_map :
     task returns (domains cannot be cancelled) and its late result is
     discarded.  Timeouts are measured from task start; on the
     sequential path they are applied after the fact (the task runs to
-    completion, then is marked).  A run where no task times out is
+    completion, then is marked).  The joiner only polls (1 ms) while
+    at least one started task could still expire; with no task
+    overdue-eligible it blocks on a condition, and without [?timeout]
+    the join never polls at all.  A run where no task times out is
     deterministic; [Timed_out] outcomes themselves depend on machine
     speed, which is the point. *)
 

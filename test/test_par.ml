@@ -49,7 +49,60 @@ let test_exception_index () =
   in
   check_raises "sequential" (fun () -> Par.parallel_map f xs);
   with_pool4 (fun pool ->
-      check_raises "parallel" (fun () -> Par.parallel_map ~pool ~chunk:1 f xs))
+      check_raises "parallel" (fun () -> Par.parallel_map ~pool ~chunk:1 f xs);
+      (* same contract when chunks land on different shards and get
+         stolen: auto-tuned and odd explicit chunkings agree *)
+      check_raises "parallel auto-chunk" (fun () -> Par.parallel_map ~pool f xs);
+      check_raises "parallel chunk:7" (fun () ->
+          Par.parallel_map ~pool ~chunk:7 f xs))
+
+let test_default_chunk_pins () =
+  (* ceiling division, floored at 2 items per chunk: small n must not
+     degenerate to one task per item (9/(4*4) used to floor to 0) *)
+  List.iter
+    (fun ((pool_size, n), expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "pool=%d n=%d" pool_size n)
+        expected
+        (Par.default_chunk ~pool_size ~n))
+    [
+      ((4, 9), 2);
+      ((4, 16), 2);
+      ((4, 32), 2);
+      ((4, 200), 13);
+      ((4, 1000), 63);
+      ((1, 100), 25);
+      ((4, 1), 2);
+      ((4, 0), 2);
+      ((8, 64), 2);
+    ];
+  Alcotest.check_raises "pool_size 0"
+    (Invalid_argument "Par.default_chunk: pool_size must be >= 1") (fun () ->
+      ignore (Par.default_chunk ~pool_size:0 ~n:10))
+
+let test_empty_input () =
+  with_pool4 (fun pool ->
+      Alcotest.(check (list int))
+        "parallel_map []" []
+        (Par.parallel_map ~pool busy []);
+      Alcotest.(check (list int))
+        "map_seeded []" []
+        (Par.map_seeded ~pool ~rng:(Rng.create ~seed:5) (fun _ x -> busy x) []);
+      Alcotest.(check int)
+        "try_map []" 0
+        (List.length (Par.try_map ~pool ~timeout:0.01 busy []));
+      Par.parallel_iteri ~pool (fun _ _ -> Alcotest.fail "no items to visit") [];
+      Alcotest.(check int)
+        "map_reduce [] keeps init" 42
+        (Par.map_reduce ~pool ~map:busy ~reduce:( + ) 42 []))
+
+let test_chunk_exceeds_n () =
+  let xs = List.init 10 Fun.id in
+  let expected = List.map busy xs in
+  with_pool4 (fun pool ->
+      Alcotest.(check (list int))
+        "chunk:50 on 10 items" expected
+        (Par.parallel_map ~pool ~chunk:50 busy xs))
 
 let test_pool_reuse () =
   with_pool4 (fun pool ->
@@ -74,7 +127,9 @@ let test_nested_map_runs_inline () =
   with_pool4 (fun pool ->
       let outer = List.init 8 Fun.id in
       let result =
-        Par.parallel_map ~pool
+        (* chunk:1 pins every outer item to a pool task (the default
+           probe would run the first items inline, outside a worker) *)
+        Par.parallel_map ~pool ~chunk:1
           (fun i ->
             (* inside a worker: must fall back to inline execution
                rather than deadlock on the queue we are draining *)
@@ -135,6 +190,67 @@ let test_try_map_timeout () =
       in
       Alcotest.(check (list string)) "straggler marked" [ "0"; "T"; "2"; "3" ] tags)
 
+let test_pool_reuse_after_timeout () =
+  with_pool4 (fun pool ->
+      let f x =
+        if x = 0 then Unix.sleepf 0.2;
+        x
+      in
+      (match Par.try_map ~pool ~timeout:0.05 f [ 0; 1; 2; 3 ] with
+      | Par.Timed_out :: _ -> ()
+      | _ -> Alcotest.fail "straggler not timed out");
+      (* the straggler's worker is still busy draining its late task;
+         the pool must keep serving new sweeps correctly meanwhile *)
+      let xs = List.init 60 Fun.id in
+      Alcotest.(check (list int))
+        "map after timeout" (List.map busy xs)
+        (Par.parallel_map ~pool busy xs);
+      Alcotest.(check (list int))
+        "second round" (List.map busy xs)
+        (Par.parallel_map ~pool ~chunk:3 busy xs))
+
+let test_parallel_iteri_failure () =
+  let xs = List.init 100 Fun.id in
+  let f i _ = if i mod 25 = 7 then raise (Boom i) in
+  let check name run =
+    match run () with
+    | () -> Alcotest.failf "%s: expected Task_error" name
+    | exception Par.Task_error { index; _ } ->
+      Alcotest.(check int) (name ^ ": lowest failing index") 7 index
+  in
+  check "sequential" (fun () -> Par.parallel_iteri f xs);
+  with_pool4 (fun pool ->
+      check "parallel" (fun () -> Par.parallel_iteri ~pool f xs);
+      check "parallel chunk:4" (fun () -> Par.parallel_iteri ~pool ~chunk:4 f xs))
+
+let test_submit_batch_drains () =
+  let hits = Array.make 32 0 in
+  let pool = Pool.create ~domains:3 () in
+  Pool.submit_batch pool (Array.init 32 (fun i () -> hits.(i) <- hits.(i) + 1));
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "each batched task ran exactly once"
+    (List.init 32 (fun _ -> 1))
+    (Array.to_list hits)
+
+let test_map_seeded_across_jobs () =
+  (* the determinism contract across job counts, at the unit level:
+     jobs ∈ {1, 2, 4} must produce identical draws *)
+  let xs = List.init 40 Fun.id in
+  let draw rng x = float_of_int x +. Rng.float rng 1. in
+  let run jobs =
+    let rng = Rng.create ~seed:123 in
+    if jobs = 1 then Par.map_seeded ~rng draw xs
+    else Pool.with_pool ~domains:jobs (fun pool -> Par.map_seeded ~pool ~rng draw xs)
+  in
+  let reference = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list (float 0.)))
+        (Printf.sprintf "jobs=%d" jobs)
+        reference (run jobs))
+    [ 2; 4 ]
+
 let test_map_seeded_deterministic () =
   let xs = List.init 30 Fun.id in
   let draw rng x = float_of_int x +. Rng.float rng 1. in
@@ -177,7 +293,17 @@ let suite =
     [
       Alcotest.test_case "map ordering" `Quick test_map_ordering;
       Alcotest.test_case "exception index" `Quick test_exception_index;
+      Alcotest.test_case "default_chunk pins" `Quick test_default_chunk_pins;
+      Alcotest.test_case "empty input" `Quick test_empty_input;
+      Alcotest.test_case "chunk exceeds n" `Quick test_chunk_exceeds_n;
       Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+      Alcotest.test_case "pool reuse after timeout" `Slow
+        test_pool_reuse_after_timeout;
+      Alcotest.test_case "parallel_iteri failure index" `Quick
+        test_parallel_iteri_failure;
+      Alcotest.test_case "submit_batch drains" `Quick test_submit_batch_drains;
+      Alcotest.test_case "map_seeded across jobs" `Quick
+        test_map_seeded_across_jobs;
       Alcotest.test_case "shutdown rejects submit" `Quick
         test_shutdown_rejects_submit;
       Alcotest.test_case "nested map runs inline" `Quick
