@@ -233,7 +233,8 @@ let () =
     | [] -> "BENCH_PR6.json"
   in
   let path = out_of argv in
-  let cores = Domain.recommended_domain_count () in
+  (* sizing query only — no domain is spawned here; the pool owns the workers *)
+  let cores = (Domain.recommended_domain_count () [@lint.allow "P004"]) in
   let results = List.map (bench_workload ~cores) workloads in
   let incr_ns, probes, t_dis, fraction = obs_overhead () in
   let gate_applied = gate && cores >= gate_min_cores in

@@ -273,7 +273,8 @@ let stats_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Domain.recommended_domain_count ())
+    (* sizing query for the CLI default — no domain is spawned here *)
+    & opt int (Domain.recommended_domain_count () [@lint.allow "P004"])
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Worker domains for the sweep (default: the recommended domain count \

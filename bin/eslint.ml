@@ -4,6 +4,7 @@
      eslint [PATH]...                    lint files / directories (default .)
      eslint --rules E001,U001 lib        enforce a subset of the catalogue
      eslint --units=false lib            switch off the dimensional analysis
+     eslint --par=false lib              switch off the parallel-safety pass
      eslint --format json|sarif lib      machine-readable reports
      eslint --exclude test/fixtures ...  prune a subtree from the scan
      eslint --allow-file lint.allow ...  load checked-in path exemptions
@@ -128,7 +129,7 @@ let print_sarif rules (diags : Lint.diagnostic list) =
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run list_only rules_spec units format allow_file exclude paths =
+let run list_only rules_spec units par format allow_file exclude paths =
   if list_only then list_rules ()
   else
     let fail msg =
@@ -143,8 +144,12 @@ let run list_only rules_spec units format allow_file exclude paths =
     let rules =
       Result.map
         (fun rs ->
-          if units then rs
-          else List.filter (fun r -> not (List.mem r Rules.units)) rs)
+          let rs =
+            if units then rs
+            else List.filter (fun r -> not (List.mem r Rules.units)) rs
+          in
+          if par then rs
+          else List.filter (fun r -> not (List.mem r Rules.par)) rs)
         rules
     in
     let allow =
@@ -154,7 +159,8 @@ let run list_only rules_spec units format allow_file exclude paths =
     in
     match (rules, allow) with
     | Error msg, _ | _, Error msg -> fail msg
-    | Ok [], Ok _ -> fail "empty rule list (--units=false removed every rule)"
+    | Ok [], Ok _ ->
+      fail "empty rule list (--units=false/--par=false removed every rule)"
     | Ok rules, Ok allow ->
       let config = { Lint.rules; allow } in
       let paths = if paths = [] then [ "." ] else paths in
@@ -188,6 +194,15 @@ let cmd =
              ~doc:"Enable the dimensional-analysis pass (U001-U003). On by \
                    default; $(b,--units=false) switches the family off.")
   in
+  let par_arg =
+    Arg.(value & opt bool true
+         & info [ "par" ] ~docv:"BOOL"
+             ~doc:"Enable the interprocedural parallel-safety pass \
+                   (P001-P004): race, nondeterminism, blocking and domain- \
+                   ownership checks over parallel regions, with witness call \
+                   chains in the messages. On by default; $(b,--par=false) \
+                   switches the family off.")
+  in
   let format_arg =
     Arg.(value
          & opt (enum [ ("human", `Human); ("json", `Json); ("sarif", `Sarif) ]) `Human
@@ -210,12 +225,22 @@ let cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"PATH"
            ~doc:"Files or directories to lint (default: current directory).")
   in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"the scan completed with no findings.";
+      Cmd.Exit.info 1 ~doc:"the scan completed and reported findings.";
+      Cmd.Exit.info 2
+        ~doc:"operational error: unparsable source file, bad allowlist, \
+              unknown rule id or missing path.";
+    ]
+  in
   let info =
-    Cmd.info "eslint" ~version:"1.0.0"
-      ~doc:"AST-driven lint for float-safety, totality and dimensional invariants."
+    Cmd.info "eslint" ~version:"1.0.0" ~exits
+      ~doc:"AST-driven lint for float-safety, totality, dimensional and \
+            parallel-safety invariants."
   in
   Cmd.v info
-    Term.(const run $ list_arg $ rules_arg $ units_arg $ format_arg $ allow_arg
-          $ exclude_arg $ paths_arg)
+    Term.(const run $ list_arg $ rules_arg $ units_arg $ par_arg $ format_arg
+          $ allow_arg $ exclude_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -21,7 +21,8 @@ module Pool = Es_par.Pool
 let jobs = ref 1
 
 let set_jobs j =
-  jobs := (if j <= 0 then Domain.recommended_domain_count () else j)
+  (* sizing query only — worker domains themselves live in Es_par.Pool *)
+  jobs := (if j <= 0 then (Domain.recommended_domain_count () [@lint.allow "P004"]) else j)
 
 let pool : Pool.t option ref = ref None
 
@@ -1090,7 +1091,8 @@ let stats_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt int (Domain.recommended_domain_count ())
+    (* sizing query for the CLI default — no domain is spawned here *)
+    & opt int (Domain.recommended_domain_count () [@lint.allow "P004"])
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Worker domains for the repetition sweeps (default: the recommended \

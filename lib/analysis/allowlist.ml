@@ -9,8 +9,19 @@ type t = entry list
 
 let empty = []
 
+(* Slash-normalise but keep a single trailing '/' — that is the
+   directory-entry marker.  Collapsing duplicates means "test//" and
+   "./test/" both parse to the entry "test/". *)
 let normalise_path p =
   let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  let buf = Buffer.create (String.length p) in
+  String.iter
+    (fun c ->
+      let n = Buffer.length buf in
+      if not (c = '/' && n > 0 && Buffer.nth buf (n - 1) = '/') then
+        Buffer.add_char buf c)
+    p;
+  let p = Buffer.contents buf in
   if String.length p > 2 && String.sub p 0 2 = "./" then
     String.sub p 2 (String.length p - 2)
   else p

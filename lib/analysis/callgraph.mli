@@ -1,0 +1,68 @@
+(** Conservative cross-module call graph over compiler-libs ASTs.
+
+    Pass 1 of an eslint run feeds every [.ml] file into one graph;
+    pass 2 ({!Par_rules}) asks reachability questions against it.  A
+    node is a top-level [let] binding keyed ["Module.value"]; an edge
+    goes to every identifier path the body mentions (reference is
+    reachability — conservative over-approximation).  [module X =
+    Path] aliases are expanded per file.  Identifiers that resolve to
+    no node (stdlib, external libraries, local variables) are opaque
+    terminal leaves: the graph assumes nothing about their effects,
+    and the deny-lists of {!Par_rules} name the dangerous ones
+    explicitly.  Functor applications and [open]-scoped bare
+    identifiers are not tracked (DESIGN.md §9 caveats). *)
+
+type t
+
+type def = {
+  d_file : string;  (** file that defines the binding *)
+  d_loc : Location.t;  (** binding location *)
+  d_expr : Parsetree.expression;  (** the bound expression *)
+  d_params : string list;  (** outermost [fun]-chain parameter names *)
+}
+
+val create : unit -> t
+
+val module_name_of_file : string -> string
+(** ["lib/core/pareto.ml"] -> ["Pareto"]. *)
+
+val flatten_longident : Longident.t -> string list option
+(** Path segments of an identifier; [None] for functor application. *)
+
+val add_source : t -> file:string -> Parsetree.structure -> unit
+(** Harvest one parsed implementation: top-level (and one-level
+    nested-module) bindings become nodes, their referenced identifier
+    paths become edges, [module X = Path] becomes a per-file alias. *)
+
+val resolve : t -> file:string -> Longident.t -> string option
+(** Canonical name of an identifier path as seen from [file]:
+    alias-expanded, [Stdlib.]-stripped, bare names qualified with the
+    file's module when that module defines them, dotted paths
+    shortened to ["Parent.leaf"] when [Parent] is a module of the
+    graph.  [None] only for [Lapply] (functor application). *)
+
+val defs : t -> string -> def list
+(** Definitions recorded under a node key — more than one when two
+    files define modules with the same name (kept, conservatively). *)
+
+val has_def : t -> string -> bool
+
+val edges : t -> string -> (string * Location.t) list
+(** Resolved identifiers referenced by the node's body, deduped by
+    name in first-occurrence order; the location is the first
+    reference site (used as the witness-trace hop). *)
+
+val nodes : t -> string list
+(** Every node key, sorted. *)
+
+val reachable : t -> roots:string list -> string list
+(** Every name reachable from [roots] (roots included), following
+    edges transitively; terminal names (no outgoing edges) are
+    included.  Sorted.  Termination is by visited-set, so cycles
+    (recursion) are fine. *)
+
+val add_edge : t -> string -> string -> unit
+(** Synthetic edge, for tests. *)
+
+val of_edges : (string * string list) list -> t
+(** Synthetic graph from an adjacency list, for tests. *)

@@ -214,6 +214,16 @@ let check_ident st ~lib name loc =
 let mutable_creators =
   [ "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create" ]
 
+(* ... and domain-safe synchronisation primitives are explicitly
+   exempt: a top-level Atomic/Mutex/Condition exists precisely to be
+   shared across domains.  (Explicit so a future creator added to
+   [mutable_creators] cannot silently re-flag them.) *)
+let domain_safe_creators =
+  [
+    "Atomic.make"; "Mutex.create"; "Condition.create";
+    "Semaphore.Counting.make"; "Semaphore.Binary.make";
+  ]
+
 (* Walk through the wrappers that still denote "this binding *is* that
    allocation" ([let x : t = ref 0], [let x = let n = 8 in Hashtbl.create n])
    down to the applied function, if any. *)
@@ -234,6 +244,7 @@ let check_module_level_mutability st (si : Parsetree.structure_item) =
     List.iter
       (fun (vb : Parsetree.value_binding) ->
         match creation_head vb.pvb_expr with
+        | Some name when List.mem name domain_safe_creators -> ()
         | Some name when List.mem name mutable_creators ->
           report st Rules.E007 vb.pvb_loc
             (Printf.sprintf
@@ -417,7 +428,11 @@ let parse_error_message file exn =
 let units_enabled config =
   List.exists (fun r -> List.mem r config.rules) Rules.units
 
-let lint_source ?(units_env = Units_rules.empty_env ()) config ~file contents =
+let par_enabled config =
+  List.exists (fun r -> List.mem r config.rules) Rules.par
+
+let lint_source ?(units_env = Units_rules.empty_env ()) ?par_ctx config ~file
+    contents =
   let st = { src_file = file; findings = []; suppressions = []; errors = [] } in
   let lexbuf = Lexing.from_string contents in
   Location.init lexbuf file;
@@ -450,6 +465,22 @@ let lint_source ?(units_env = Units_rules.empty_env ()) config ~file contents =
           Units_rules.check_structure units_env
             ~module_name:(Units_rules.module_name_of_file file)
             ~report:report_units ~error:error_units str;
+        if par_enabled config then begin
+          (* directory runs share the cross-module graph from pass 1;
+             a bare single-file lint still gets intra-file traces from
+             a graph over just this structure *)
+          let ctx =
+            match par_ctx with
+            | Some ctx -> ctx
+            | None ->
+              let g = Callgraph.create () in
+              Callgraph.add_source g ~file str;
+              Par_rules.make_ctx g
+          in
+          Par_rules.check_structure ctx ~file
+            ~report:(fun rule loc msg -> report st rule loc msg)
+            str
+        end;
         Ok ()
       | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) ->
         Error (parse_error_message file exn)
@@ -484,14 +515,37 @@ let build_units_env config files =
       files;
   env
 
-let lint_file_in_env config ~units_env file =
+(* Pass 1 of the parallel-safety analysis: one call graph over every
+   .ml of the lint set.  Parse failures are ignored here — the file
+   surfaces its own error when linted in pass 2. *)
+let build_par_ctx config files =
+  if not (par_enabled config) then Par_rules.empty_ctx ()
+  else begin
+    let graph = Callgraph.create () in
+    List.iter
+      (fun file ->
+        if Filename.check_suffix file ".ml" then
+          match In_channel.with_open_text file In_channel.input_all with
+          | contents -> (
+            let lexbuf = Lexing.from_string contents in
+            Location.init lexbuf file;
+            match Parse.implementation lexbuf with
+            | str -> Callgraph.add_source graph ~file str
+            | exception (Syntaxerr.Error _ | Lexer.Error _) -> ())
+          | exception Sys_error _ -> ())
+      files;
+    Par_rules.make_ctx graph
+  end
+
+let lint_file_in_env ?par_ctx config ~units_env file =
   match In_channel.with_open_text file In_channel.input_all with
-  | contents -> lint_source ~units_env config ~file contents
+  | contents -> lint_source ~units_env ?par_ctx config ~file contents
   | exception Sys_error msg -> Error msg
 
 let lint_file config file =
   (* single-file convenience: the sibling .mli (if any) seeds the
-     interprocedural environment, mirroring what a directory run sees *)
+     interprocedural environment, mirroring what a directory run sees;
+     the par graph covers just this file (lint_source builds it) *)
   let sibling = Filename.remove_extension file ^ ".mli" in
   let seeds = if Sys.file_exists sibling then [ file; sibling ] else [ file ] in
   lint_file_in_env config ~units_env:(build_units_env config seeds) file
@@ -505,10 +559,27 @@ let skip_dirs = [ "_build"; ".git"; "node_modules" ]
 let is_source file =
   Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
 
+(* Canonical relative form: forward slashes, duplicate separators
+   collapsed, leading "./" and any trailing '/' stripped — so
+   [eslint lib/core lib/core/ ./lib//core] all name the same root and
+   [--exclude test/fixtures/] matches what the walker compares. *)
 let normalise_path p =
   let p = String.map (fun c -> if c = '\\' then '/' else c) p in
-  if String.length p > 2 && String.sub p 0 2 = "./" then
-    String.sub p 2 (String.length p - 2)
+  let buf = Buffer.create (String.length p) in
+  String.iter
+    (fun c ->
+      let n = Buffer.length buf in
+      if not (c = '/' && n > 0 && Buffer.nth buf (n - 1) = '/') then
+        Buffer.add_char buf c)
+    p;
+  let p = Buffer.contents buf in
+  let p =
+    if String.length p > 2 && String.sub p 0 2 = "./" then
+      String.sub p 2 (String.length p - 2)
+    else p
+  in
+  if String.length p > 1 && p.[String.length p - 1] = '/' then
+    String.sub p 0 (String.length p - 1)
   else p
 
 let is_excluded ~exclude path =
@@ -536,18 +607,27 @@ let rec collect_path ~exclude acc path =
   else if is_source path then path :: acc
   else acc
 
+(* Full order including the message, so a file reached both directly
+   and through a directory walk cannot yield duplicate findings. *)
+let compare_diagnostic_full a b =
+  let c = compare_diagnostic a b in
+  if c <> 0 then c else String.compare a.message b.message
+
 let lint_paths ?(exclude = []) config paths =
   let exclude = List.map normalise_path exclude in
   let files =
-    List.fold_left (collect_path ~exclude) [] paths
+    List.fold_left (collect_path ~exclude) [] (List.map normalise_path paths)
+    |> List.map normalise_path
     |> List.sort_uniq String.compare
   in
   let units_env = build_units_env config files in
+  let par_ctx = build_par_ctx config files in
   List.fold_left
     (fun (diags, errors) file ->
-      match lint_file_in_env config ~units_env file with
+      match lint_file_in_env ~par_ctx config ~units_env file with
       | Ok ds -> (ds :: diags, errors)
       | Error msg -> (diags, msg :: errors))
     ([], []) files
   |> fun (diags, errors) ->
-  (List.concat (List.rev diags) |> List.sort compare_diagnostic, List.rev errors)
+  ( List.concat (List.rev diags) |> List.sort_uniq compare_diagnostic_full,
+    List.rev errors )

@@ -35,6 +35,7 @@ val compare_diagnostic : diagnostic -> diagnostic -> int
 
 val lint_source :
   ?units_env:Units_rules.env ->
+  ?par_ctx:Par_rules.ctx ->
   config ->
   file:string ->
   string ->
@@ -42,13 +43,20 @@ val lint_source :
 (** Lint source text as if it were [file] (drives fixture tests).
     [units_env] carries the interprocedural [\[@units\]] knowledge of a
     surrounding directory run (default: empty — intra-file constraints
-    still check).  [Error] means a parse failure or a malformed
-    [\[@lint.allow\]]/[\[@units\]] payload, not a finding. *)
+    still check); [par_ctx] carries its cross-module call graph
+    (default: a graph over this file alone, so intra-file witness
+    chains still resolve).  [Error] means a parse failure or a
+    malformed [\[@lint.allow\]]/[\[@units\]] payload, not a finding. *)
 
 val build_units_env : config -> string list -> Units_rules.env
 (** Pass 1 of the dimensional analysis: harvest [\[@units\]]
     annotations from every [.mli] in the list.  Cheap no-op when no U
     rule is enabled. *)
+
+val build_par_ctx : config -> string list -> Par_rules.ctx
+(** Pass 1 of the parallel-safety analysis: one {!Callgraph} over
+    every [.ml] in the list, with the derived-combinator fixpoint
+    precomputed.  Cheap no-op when no P rule is enabled. *)
 
 val lint_file : config -> string -> (diagnostic list, string) result
 (** Lint one file from disk.  Includes the E005 missing-[.mli] check
@@ -61,6 +69,9 @@ val lint_paths :
   string list ->
   diagnostic list * string list
 (** Lint files and directories (recursively; [_build]/[.git] skipped;
-    [exclude] prunes path prefixes such as [test/fixtures]) in two
-    passes — [\[@units\]] collection over every [.mli], then per-file
-    checking — returning sorted diagnostics and any per-file errors. *)
+    [exclude] prunes path prefixes such as [test/fixtures], with or
+    without a trailing slash) in two passes — [\[@units\]] and
+    call-graph collection, then per-file checking — returning sorted,
+    deduplicated diagnostics and any per-file errors.  Roots and
+    collected files are path-normalised, so naming a file directly and
+    reaching it through a directory walk yields one set of findings. *)

@@ -2,10 +2,27 @@
    driver; [of_id] is forgiving about case so "e001" works on the
    command line and in [@lint.allow] payloads. *)
 
-type t = E001 | E002 | E003 | E004 | E005 | E006 | E007 | U001 | U002 | U003
+type t =
+  | E001
+  | E002
+  | E003
+  | E004
+  | E005
+  | E006
+  | E007
+  | U001
+  | U002
+  | U003
+  | P001
+  | P002
+  | P003
+  | P004
 
-let all = [ E001; E002; E003; E004; E005; E006; E007; U001; U002; U003 ]
+let all =
+  [ E001; E002; E003; E004; E005; E006; E007; U001; U002; U003; P001; P002; P003; P004 ]
+
 let units = [ U001; U002; U003 ]
+let par = [ P001; P002; P003; P004 ]
 
 let id = function
   | E001 -> "E001"
@@ -18,6 +35,10 @@ let id = function
   | U001 -> "U001"
   | U002 -> "U002"
   | U003 -> "U003"
+  | P001 -> "P001"
+  | P002 -> "P002"
+  | P003 -> "P003"
+  | P004 -> "P004"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -31,6 +52,10 @@ let of_id s =
   | "U001" -> Some U001
   | "U002" -> Some U002
   | "U003" -> Some U003
+  | "P001" -> Some P001
+  | "P002" -> Some P002
+  | "P003" -> Some P003
+  | "P004" -> Some P004
   | _ -> None
 
 let describe = function
@@ -68,5 +93,22 @@ let describe = function
     "public float in a lib/core or lib/platform interface without a [@units \
      \"...\"] annotation (work, freq, time, energy, power, prob, \
      dimensionless, and products/quotients/powers thereof)"
+  | P001 ->
+    "parallel region captures and writes shared mutable state (ref, mutable \
+     field, Hashtbl/Queue/Stack/Buffer defined outside the region) without \
+     Atomic/Mutex protection — a data race across worker domains"
+  | P002 ->
+    "parallel region reaches an ambient-nondeterminism source (Random.*, \
+     Sys.time, Unix.gettimeofday, Domain.self, Gc stats, hash-ordered \
+     Hashtbl iteration over a captured table); output would depend on \
+     scheduling — derive per-task streams with Rng.split / map_seeded"
+  | P003 ->
+    "parallel region reaches a blocking operation (Mutex.lock/protect on a \
+     captured lock, Condition.wait, Unix.sleep*, raw Pool.submit re-entry); \
+     workers stall or deadlock — keep worker code non-blocking"
+  | P004 ->
+    "Domain.* / Domain.DLS use outside the sanctioned owners lib/par and \
+     lib/obs; route domain management through Es_par.Pool so the pool owns \
+     every worker domain"
 
 let compare_rule a b = String.compare (id a) (id b)

@@ -10,15 +10,39 @@
     - E007: module-level mutable state ([ref], [mutable] record fields,
       [Hashtbl]/[Queue]/[Stack]/[Buffer] created at top level) in the
       domain-shared libraries ([lib/core], [lib/sched], [lib/sim]).
+      Top-level [Atomic.make]/[Mutex.create]/[Condition.create] are
+      domain-safe and exempt.
     - U001: unit mismatch in a float addition/subtraction/comparison.
     - U002: unit mismatch against a [\[@units\]] annotation (call site,
       record field, constraint, exported result).
     - U003: unannotated public float in [lib/core] / [lib/platform].
+    - P001: a parallel region (closure handed to an [Es_par] combinator)
+      captures and writes mutable state defined outside the region.
+    - P002: ambient nondeterminism ([Random.*], wall clocks, [Domain.self],
+      Gc stats, hash-ordered iteration) reachable from a parallel region.
+    - P003: blocking operation (captured locks, [Condition.wait],
+      [Unix.sleep*], raw [Pool.submit] re-entry) reachable from a region.
+    - P004: [Domain.*] / DLS use outside [lib/par] and [lib/obs].
 
     The U rules are the dimensional-analysis pass ({!Units},
-    {!Units_rules}). *)
+    {!Units_rules}); the P rules are the interprocedural parallel-safety
+    pass ({!Callgraph}, {!Par_rules}). *)
 
-type t = E001 | E002 | E003 | E004 | E005 | E006 | E007 | U001 | U002 | U003
+type t =
+  | E001
+  | E002
+  | E003
+  | E004
+  | E005
+  | E006
+  | E007
+  | U001
+  | U002
+  | U003
+  | P001
+  | P002
+  | P003
+  | P004
 
 val all : t list
 (** Every rule, in catalogue order. *)
@@ -27,8 +51,12 @@ val units : t list
 (** The dimensional-analysis family ([U001]-[U003]) — what
     [eslint --units=false] switches off. *)
 
+val par : t list
+(** The parallel-safety family ([P001]-[P004]) — what
+    [eslint --par=false] switches off. *)
+
 val id : t -> string
-(** ["E001"] ... ["E006"]. *)
+(** ["E001"] ... ["P004"]. *)
 
 val of_id : string -> t option
 (** Case-insensitive inverse of [id]; [None] on unknown ids. *)

@@ -11,6 +11,10 @@ The rule catalogue is discoverable from the CLI.
   U001  unit mismatch between the operands of a float addition, subtraction, comparison or min/max (adding an energy to a time, comparing a speed against a deadline)
   U002  unit mismatch against a [@units] annotation: argument at an annotated call site, annotated record field, value constraint, or the result of an exported function
   U003  public float in a lib/core or lib/platform interface without a [@units "..."] annotation (work, freq, time, energy, power, prob, dimensionless, and products/quotients/powers thereof)
+  P001  parallel region captures and writes shared mutable state (ref, mutable field, Hashtbl/Queue/Stack/Buffer defined outside the region) without Atomic/Mutex protection — a data race across worker domains
+  P002  parallel region reaches an ambient-nondeterminism source (Random.*, Sys.time, Unix.gettimeofday, Domain.self, Gc stats, hash-ordered Hashtbl iteration over a captured table); output would depend on scheduling — derive per-task streams with Rng.split / map_seeded
+  P003  parallel region reaches a blocking operation (Mutex.lock/protect on a captured lock, Condition.wait, Unix.sleep*, raw Pool.submit re-entry); workers stall or deadlock — keep worker code non-blocking
+  P004  Domain.* / Domain.DLS use outside the sanctioned owners lib/par and lib/obs; route domain management through Es_par.Pool so the pool owns every worker domain
 
 Every rule fires on its fixture, with exact file:line:col diagnostics
 and a non-zero exit code.
@@ -65,6 +69,11 @@ factory in the same fixture stay silent.
   ../fixtures/lint/e007/lib/core/mutstate.ml:6:15 [E007] mutable record field total in domain-shared code; values of this type race when shared across worker domains — drop [mutable] or use Atomic.t
   eslint: 3 finding(s)
   [1]
+
+Top-level synchronisation primitives (Atomic, Mutex, Condition) are
+domain-safe by construction and exempt from E007.
+
+  $ eslint --rules E007 ../fixtures/lint/e007/lib/core/atomics.ml
 
 Clean code and fully suppressed code exit 0 with no output.
 
@@ -141,6 +150,83 @@ E rules.
   eslint: 5 finding(s)
   [1]
 
+The parallel-safety pass.  P001 anchors each race at the parallel
+region and carries a witness call chain in the message — here the
+captured-Hashtbl write lives one module away from the region, and the
+captured ref is written inline.
+
+  $ eslint --rules P001 ../fixtures/lint/p001
+  ../fixtures/lint/p001/worker.ml:9:2 [P001] parallel region (Par.parallel_map) writes captured mutable state without Atomic/Mutex protection: 'incr' on captured ref 'total'; witness: region@../fixtures/lint/p001/worker.ml:9 -> incr total@../fixtures/lint/p001/worker.ml:12
+  ../fixtures/lint/p001/worker.ml:9:2 [P001] parallel region (Par.parallel_map) writes captured mutable state without Atomic/Mutex protection: Hashtbl.replace on captured container 'hits'; witness: region@../fixtures/lint/p001/worker.ml:9 -> Counter.memo@../fixtures/lint/p001/worker.ml:11 -> Hashtbl.replace hits@../fixtures/lint/p001/counter.ml:7
+  eslint: 2 finding(s)
+  [1]
+
+P002 flags ambient nondeterminism reachable from a region; the
+site-suppressed twin fixture ([@lint.allow "P002"] on the region
+expression) stays silent.
+
+  $ eslint --rules P002 ../fixtures/lint/p002
+  ../fixtures/lint/p002/seeds.ml:6:2 [P002] parallel region (Par.parallel_map) reaches ambient nondeterminism: Random.float (use a pre-split Rng stream / map_seeded); witness: region@../fixtures/lint/p002/seeds.ml:6 -> Random.float@../fixtures/lint/p002/seeds.ml:6
+  eslint: 1 finding(s)
+  [1]
+
+P003 flags blocking operations in worker code: a captured lock and an
+outright sleep.
+
+  $ eslint --rules P003 ../fixtures/lint/p003
+  ../fixtures/lint/p003/block.ml:8:2 [P003] parallel region (Par.parallel_map) reaches a blocking operation: Mutex.lock on captured lock 'lock'; witness: region@../fixtures/lint/p003/block.ml:8 -> Mutex.lock lock@../fixtures/lint/p003/block.ml:10
+  ../fixtures/lint/p003/block.ml:8:2 [P003] parallel region (Par.parallel_map) reaches a blocking operation: Unix.sleepf; witness: region@../fixtures/lint/p003/block.ml:8 -> Unix.sleepf@../fixtures/lint/p003/block.ml:11
+  eslint: 2 finding(s)
+  [1]
+
+P004 keeps raw Domain management inside its sanctioned owners.
+
+  $ eslint --rules P004 ../fixtures/lint/p004
+  ../fixtures/lint/p004/spawn.ml:6:10 [P004] Domain.spawn used outside the sanctioned owners (lib/par, lib/obs); route domain management through Es_par.Pool or justify with [@lint.allow "P004"]
+  ../fixtures/lint/p004/spawn.ml:7:2 [P004] Domain.join used outside the sanctioned owners (lib/par, lib/obs); route domain management through Es_par.Pool or justify with [@lint.allow "P004"]
+  eslint: 2 finding(s)
+  [1]
+
+A checked-in allowlist exempts a path/P-rule pair like any other rule.
+
+  $ cat > par.allow <<'EOF'
+  > # this fixture spawns raw domains on purpose
+  > p004/spawn.ml P004
+  > EOF
+
+  $ eslint --rules P004 --allow-file par.allow ../fixtures/lint/p004
+
+--par=false switches the whole P family off without touching the
+other rules.
+
+  $ eslint --par=false ../fixtures/lint/p003/block.ml
+
+Naming a file both directly and through its directory reports each
+finding exactly once.
+
+  $ eslint --rules P004 ../fixtures/lint/p004 ../fixtures/lint/p004/spawn.ml
+  ../fixtures/lint/p004/spawn.ml:6:10 [P004] Domain.spawn used outside the sanctioned owners (lib/par, lib/obs); route domain management through Es_par.Pool or justify with [@lint.allow "P004"]
+  ../fixtures/lint/p004/spawn.ml:7:2 [P004] Domain.join used outside the sanctioned owners (lib/par, lib/obs); route domain management through Es_par.Pool or justify with [@lint.allow "P004"]
+  eslint: 2 finding(s)
+  [1]
+
+--exclude tolerates a trailing slash on the pruned path.
+
+  $ eslint --rules P001,P002,P003,P004 --exclude ../fixtures/lint/p001/ --exclude ../fixtures/lint/p002 --exclude ../fixtures/lint/p003 --exclude ../fixtures/lint/p004 ../fixtures/lint
+
+The exit-code contract is documented in the man page.
+
+  $ eslint --help=plain | grep -A 8 "EXIT STATUS"
+  EXIT STATUS
+         eslint exits with:
+  
+         0   the scan completed with no findings.
+  
+         1   the scan completed and reported findings.
+  
+         2   operational error: unparsable source file, bad allowlist, unknown
+             rule id or missing path.
+
 Machine-readable output: --format json for tooling, --format sarif for
 GitHub code scanning (1-based columns there).
 
@@ -186,3 +272,30 @@ GitHub code scanning (1-based columns there).
     "findings": [],
     "errors": []
   }
+
+A P001 witness trace survives into the SARIF report verbatim, so code
+scanning shows the full region -> callee -> write chain.
+
+  $ eslint --format sarif --rules P001 ../fixtures/lint/p001
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",
+    "runs": [
+      {
+        "tool": {
+          "driver": {
+            "name": "eslint",
+            "informationUri": "DESIGN.md",
+            "rules": [
+            {"id": "P001", "shortDescription": {"text": "parallel region captures and writes shared mutable state (ref, mutable field, Hashtbl/Queue/Stack/Buffer defined outside the region) without Atomic/Mutex protection — a data race across worker domains"}}
+            ]
+          }
+        },
+        "results": [
+          {"ruleId": "P001", "level": "error", "message": {"text": "parallel region (Par.parallel_map) writes captured mutable state without Atomic/Mutex protection: 'incr' on captured ref 'total'; witness: region@../fixtures/lint/p001/worker.ml:9 -> incr total@../fixtures/lint/p001/worker.ml:12"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "../fixtures/lint/p001/worker.ml"}, "region": {"startLine": 9, "startColumn": 3}}}]},
+          {"ruleId": "P001", "level": "error", "message": {"text": "parallel region (Par.parallel_map) writes captured mutable state without Atomic/Mutex protection: Hashtbl.replace on captured container 'hits'; witness: region@../fixtures/lint/p001/worker.ml:9 -> Counter.memo@../fixtures/lint/p001/worker.ml:11 -> Hashtbl.replace hits@../fixtures/lint/p001/counter.ml:7"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "../fixtures/lint/p001/worker.ml"}, "region": {"startLine": 9, "startColumn": 3}}}]}
+        ]
+      }
+    ]
+  }
+  [1]

@@ -1,0 +1,8 @@
+(* E007 exemption fixture: top-level synchronisation primitives are
+   domain-safe by construction — Atomic/Mutex/Condition exist to be
+   shared across domains, so none of these bindings may fire E007. *)
+
+let counter = Atomic.make 0
+let lock = Mutex.create ()
+let ready = Condition.create ()
+let bump () = Atomic.incr counter

@@ -1,0 +1,4 @@
+val counter : int Atomic.t
+val lock : Mutex.t
+val ready : Condition.t
+val bump : unit -> unit

@@ -1,0 +1,7 @@
+(* P001 fixture, callee side: module-level mutable state plus the
+   helper that writes it.  No parallel region here — this file alone
+   is silent; the race only exists once worker.ml calls [memo] from a
+   region (the cross-module witness case). *)
+
+let hits : (int, int) Hashtbl.t = Hashtbl.create 16
+let memo key v = Hashtbl.replace hits key v

@@ -1,0 +1,14 @@
+(* P001 fixture, region side: the closure writes a captured ref
+   directly and reaches Counter.memo's Hashtbl write one call away —
+   both races, both anchored at the region call site with a witness
+   chain. *)
+
+let total = ref 0
+
+let run pool xs =
+  Es_par.Par.parallel_map ~pool
+    (fun x ->
+      Counter.memo x (2 * x);
+      incr total;
+      x)
+    xs

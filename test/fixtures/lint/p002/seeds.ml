@@ -1,0 +1,6 @@
+(* P002 fixture: ambient randomness inside a parallel region — the
+   result depends on which worker domain draws first.  The sanctioned
+   pattern is Par.map_seeded with a pre-split Rng stream. *)
+
+let draw pool xs =
+  Es_par.Par.parallel_map ~pool (fun x -> float_of_int x +. Random.float 1.0) xs

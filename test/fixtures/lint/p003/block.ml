@@ -1,0 +1,14 @@
+(* P003 fixture: blocking operations inside a parallel region — a
+   captured lock serialises the sweep (or deadlocks it), and sleeping
+   stalls a worker domain outright. *)
+
+let lock = Mutex.create ()
+
+let run pool xs =
+  Es_par.Par.parallel_map ~pool
+    (fun x ->
+      Mutex.lock lock;
+      Unix.sleepf 0.01;
+      Mutex.unlock lock;
+      x)
+    xs

@@ -1,0 +1,7 @@
+(* P004 fixture: raw domain management outside lib/par and lib/obs.
+   Worker domains are owned by Es_par.Pool; ad-hoc Domain.spawn
+   fragments that ownership. *)
+
+let run f =
+  let d = Domain.spawn f in
+  Domain.join d

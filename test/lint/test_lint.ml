@@ -123,6 +123,12 @@ let test_e007_scoped_to_domain_libs () =
     [ "E007"; "E007" ]
     (rule_ids (lint_string ~rules:[ Rules.E007 ] ~file:"lib/sim/state.ml" src))
 
+let test_e007_exempts_domain_safe_creators () =
+  (* top-level Atomic/Mutex/Condition are mutable on purpose — they
+     exist to be shared across domains; the fixture pins their silence *)
+  check_ids "sync primitives exempt" []
+    (rule_ids (lint ~rules:[ Rules.E007 ] "e007/lib/core/atomics.ml"))
+
 let test_e007_factories_and_locals_ok () =
   let src =
     "let make () = ref 0\n\
@@ -181,8 +187,8 @@ let test_allowlist_directory_entries () =
 (* dimensional analysis: the U rules                                   *)
 (* ------------------------------------------------------------------ *)
 
-let lint_dir ?(rules = Rules.all) name =
-  let diags, errors = Lint.lint_paths { Lint.rules; allow = Allowlist.empty } [ fixture name ] in
+let lint_dir ?(rules = Rules.all) ?(allow = Allowlist.empty) name =
+  let diags, errors = Lint.lint_paths { Lint.rules; allow } [ fixture name ] in
   List.iter (fun e -> Alcotest.failf "lint_paths %s: %s" name e) errors;
   diags
 
@@ -240,6 +246,112 @@ let test_malformed_units_payload_is_an_error () =
   | Error msg ->
     Alcotest.(check bool) "error names the bad unit" true
       (Astring.String.is_infix ~affix:"furlong" msg)
+
+(* ------------------------------------------------------------------ *)
+(* parallel safety: the P rules                                        *)
+(* ------------------------------------------------------------------ *)
+
+let messages diags = List.map (fun (d : Lint.diagnostic) -> d.Lint.message) diags
+let infix affix s = Astring.String.is_infix ~affix s
+
+let test_p001_cross_module_witness () =
+  (* the Hashtbl write lives in counter.ml, the region in worker.ml:
+     pass 1 builds the graph over the directory and the finding is
+     anchored at the region with the full call chain in the message *)
+  let diags = lint_dir ~rules:[ Rules.P001 ] "p001" in
+  check_ids "captured ref + captured Hashtbl" [ "P001"; "P001" ]
+    (rule_ids diags);
+  List.iter
+    (fun (d : Lint.diagnostic) ->
+      Alcotest.(check bool) "anchored at the region file" true
+        (Astring.String.is_suffix ~affix:"worker.ml" d.file))
+    diags;
+  Alcotest.(check bool) "witness chain crosses into counter.ml" true
+    (List.exists
+       (fun m ->
+         infix "witness: region@" m
+         && infix "Counter.memo@" m
+         && infix "Hashtbl.replace hits@" m
+         && infix "counter.ml" m)
+       (messages diags))
+
+let test_p002_triggers_and_suppression () =
+  (* seeds.ml fires; seeds_quiet.ml carries [@lint.allow "P002"] on
+     the region expression and must stay silent *)
+  let diags = lint_dir ~rules:[ Rules.P002 ] "p002" in
+  check_ids "only the unsuppressed region" [ "P002" ] (rule_ids diags);
+  Alcotest.(check bool) "names Random.float" true
+    (List.exists (infix "Random.float") (messages diags))
+
+let test_p003_blocking () =
+  let diags = lint ~rules:[ Rules.P003 ] "p003/block.ml" in
+  check_ids "captured lock + sleep" [ "P003"; "P003" ] (rule_ids diags)
+
+let test_p004_domain_ownership () =
+  let diags = lint ~rules:[ Rules.P004 ] "p004/spawn.ml" in
+  check_ids "spawn and join" [ "P004"; "P004" ] (rule_ids diags)
+
+let test_p004_allowlisted () =
+  let allow = allowlist_of_string "p004/spawn.ml P004" in
+  check_ids "allow-listed file is silent" []
+    (rule_ids (lint ~rules:[ Rules.P004 ] ~allow "p004/spawn.ml"))
+
+let test_p_rules_toggle_off () =
+  (* --par=false in the driver filters Rules.par: with the family
+     removed, the raciest fixture of the set is silent *)
+  let rules =
+    List.filter (fun r -> not (List.mem r Rules.par)) Rules.all
+  in
+  check_ids "no P findings with the family off" []
+    (rule_ids
+       (List.filter
+          (fun (d : Lint.diagnostic) -> List.mem d.Lint.rule Rules.par)
+          (lint_dir ~rules "p001")))
+
+let parse_structure ~file src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+(* Lint [region_src] as [region_file] against a two-file graph that
+   also contains a lock-holding helper at [helper_file]. *)
+let lint_with_helper ~helper_file ~helper_mod ~region_file =
+  let helper_src =
+    "let m = Mutex.create ()\n\
+     let note x = Mutex.lock m; ignore x; Mutex.unlock m\n"
+  in
+  let region_src =
+    Printf.sprintf
+      "let run pool xs =\n\
+      \  Es_par.Par.parallel_map ~pool (fun x -> %s.note x; x) xs\n"
+      helper_mod
+  in
+  let g = Es_analysis.Callgraph.create () in
+  Es_analysis.Callgraph.add_source g ~file:helper_file
+    (parse_structure ~file:helper_file helper_src);
+  Es_analysis.Callgraph.add_source g ~file:region_file
+    (parse_structure ~file:region_file region_src);
+  let par_ctx = Es_analysis.Par_rules.make_ctx g in
+  match
+    Lint.lint_source ~par_ctx
+      { Lint.rules = [ Rules.P003 ]; allow = Allowlist.empty }
+      ~file:region_file region_src
+  with
+  | Ok diags -> diags
+  | Error msg -> Alcotest.failf "lint_source %s: %s" region_file msg
+
+let test_par_sanctioned_owner_is_terminal () =
+  (* a helper under lib/obs may hold locks — reachability must stop at
+     the sanctioned owner instead of flagging its internals ... *)
+  check_ids "lock inside lib/obs not reported through the region" []
+    (rule_ids
+       (lint_with_helper ~helper_file:"lib/obs/obs_helper.ml"
+          ~helper_mod:"Obs_helper" ~region_file:"lib/sim/sweep.ml"));
+  (* ... while the identical helper anywhere else is a real P003 *)
+  check_ids "same lock outside the owners is reported" [ "P003" ]
+    (rule_ids
+       (lint_with_helper ~helper_file:"lib/util/helper.ml"
+          ~helper_mod:"Helper" ~region_file:"lib/sim/sweep.ml"))
 
 (* ------------------------------------------------------------------ *)
 (* the unit algebra: laws of the abelian group                         *)
@@ -340,6 +452,8 @@ let suite =
         test_e004_only_applies_to_lib_paths;
       Alcotest.test_case "E007 scoped to domain-shared libs" `Quick
         test_e007_scoped_to_domain_libs;
+      Alcotest.test_case "E007 exempts domain-safe creators" `Quick
+        test_e007_exempts_domain_safe_creators;
       Alcotest.test_case "E007 skips factories and locals" `Quick
         test_e007_factories_and_locals_ok;
       Alcotest.test_case "allowlist suppresses by path suffix" `Quick
@@ -364,6 +478,19 @@ let suite =
         test_exported_result_checked;
       Alcotest.test_case "malformed units payload errors" `Quick
         test_malformed_units_payload_is_an_error;
+      Alcotest.test_case "P001 cross-module witness chain" `Quick
+        test_p001_cross_module_witness;
+      Alcotest.test_case "P002 triggers and suppresses" `Quick
+        test_p002_triggers_and_suppression;
+      Alcotest.test_case "P003 flags blocking regions" `Quick
+        test_p003_blocking;
+      Alcotest.test_case "P004 flags raw Domain use" `Quick
+        test_p004_domain_ownership;
+      Alcotest.test_case "P004 allowlist exemption" `Quick
+        test_p004_allowlisted;
+      Alcotest.test_case "P family toggles off" `Quick test_p_rules_toggle_off;
+      Alcotest.test_case "sanctioned owners are terminal" `Quick
+        test_par_sanctioned_owner_is_terminal;
       Alcotest.test_case "derived unit aliases" `Quick test_derived_aliases;
       Alcotest.test_case "rule ids round trip" `Quick test_rule_ids_round_trip;
     ] )
