@@ -230,22 +230,25 @@ let baseline_json () =
   let open Es_obs.Obs_json in
   Obs.enable ();
   let entries =
-    List.map
-      (fun (name, f) ->
-        Obs.reset ();
-        let t0 = Obs.now () in
-        f ();
-        let wall = Obs.now () -. t0 in
-        Obj
-          [
-            ("name", Str name);
-            ("wall_s", Num wall);
-            ("telemetry", Obs.to_json (Obs.snapshot ()));
-          ])
-      experiments
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.reset ())
+      (fun () ->
+        List.map
+          (fun (name, f) ->
+            Obs.reset ();
+            let t0 = Obs.now () in
+            f ();
+            let wall = Obs.now () -. t0 in
+            Obj
+              [
+                ("name", Str name);
+                ("wall_s", Num wall);
+                ("telemetry", Obs.to_json (Obs.snapshot ()));
+              ])
+          experiments)
   in
-  Obs.disable ();
-  Obs.reset ();
   Obj
     [
       ("schema", Str "esched-bench/1");
@@ -257,9 +260,11 @@ let baseline_json () =
 let write_baseline path =
   let json = baseline_json () in
   let oc = open_out path in
-  output_string oc (Es_obs.Obs_json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Es_obs.Obs_json.to_string json);
+      output_char oc '\n');
   Printf.printf "baseline: wrote %s (%d experiments)\n" path (List.length experiments)
 
 let () =

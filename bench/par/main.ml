@@ -187,11 +187,16 @@ let obs_overhead () =
     | None -> fun _ -> ""
   in
   Obs.enable ();
-  Obs.reset ();
-  ignore (run None);
-  let snap = Obs.snapshot () in
-  Obs.disable ();
-  Obs.reset ();
+  let snap =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.reset ())
+      (fun () ->
+        Obs.reset ();
+        ignore (run None);
+        Obs.snapshot ())
+  in
   let probes =
     List.fold_left (fun acc (_, v) -> acc + v) 0 snap.Obs.counters
     + List.fold_left (fun acc (_, t) -> acc + t.Obs.count) 0 snap.Obs.timers
@@ -291,9 +296,11 @@ let () =
       ]
   in
   let oc = open_out path in
-  output_string oc (to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string json);
+      output_char oc '\n');
   Printf.printf "bench/par: wrote %s (%d workloads, %d cores)\n" path
     (List.length results) cores;
   List.iter

@@ -26,9 +26,11 @@ let select = function
 
 let write_json path report =
   let oc = open_out path in
-  output_string oc (Json.to_string (Runner.to_json report));
-  output_char oc '\n';
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (Runner.to_json report));
+      output_char oc '\n')
 
 let run seed trials relations out max_failures list_only =
   if list_only then list_relations ()

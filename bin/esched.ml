@@ -17,33 +17,30 @@ module Pool = Es_par.Pool
 let jobs = ref 1
 
 let pool : Pool.t option ref = ref None
+let current_pool () = !pool
 
-let current_pool () =
-  if !jobs <= 1 then None
+(* Run [f] with the worker pool installed for its dynamic extent
+   (when [--jobs N] asks for more than one domain); [Pool.with_pool]
+   owns the shutdown on both the normal and the exceptional path. *)
+let with_jobs f =
+  if !jobs <= 1 then f ()
   else
-    match !pool with
-    | Some _ as p -> p
-    | None ->
-      let p = Pool.create ~domains:!jobs () in
-      pool := Some p;
-      Some p
-
-let shutdown_pool () =
-  match !pool with
-  | Some p ->
-    pool := None;
-    Pool.shutdown p
-  | None -> ()
+    Pool.with_pool ~domains:!jobs (fun p ->
+        pool := Some p;
+        Fun.protect ~finally:(fun () -> pool := None) f)
 
 (* `--stats`: enable telemetry around the run, render it afterwards *)
 let with_stats stats f =
   if stats then Obs.enable ();
-  let code = Fun.protect ~finally:shutdown_pool f in
-  if stats then begin
-    print_newline ();
-    print_string (Obs.render_text (Obs.snapshot ()))
-  end;
-  code
+  Fun.protect
+    ~finally:(fun () -> if stats then Obs.disable ())
+    (fun () ->
+      let code = with_jobs f in
+      if stats then begin
+        print_newline ();
+        print_string (Obs.render_text (Obs.snapshot ()))
+      end;
+      code)
 
 let fmin = 0.2
 let fmax = 1.0

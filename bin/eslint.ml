@@ -3,11 +3,15 @@
    Usage:
      eslint [PATH]...                    lint files / directories (default .)
      eslint --rules E001,U001 lib        enforce a subset of the catalogue
+     eslint --only R001,X001 lib         same as --rules
+     eslint --skip E005,P002 lib         enforce everything but these
      eslint --units=false lib            switch off the dimensional analysis
      eslint --par=false lib              switch off the parallel-safety pass
+     eslint --effects=false lib          switch off the exception/resource pass
      eslint --format json|sarif lib      machine-readable reports
      eslint --exclude test/fixtures ...  prune a subtree from the scan
      eslint --allow-file lint.allow ...  load checked-in path exemptions
+     eslint --stats lib                  report analysis timings on stderr
      eslint --list-rules                 print the rule catalogue
 
    Exit codes: 0 clean, 1 findings reported, 2 operational error
@@ -17,6 +21,7 @@ open Cmdliner
 module Lint = Es_analysis.Lint
 module Rules = Es_analysis.Rules
 module Allowlist = Es_analysis.Allowlist
+module Obs = Es_obs.Obs
 
 let parse_rules spec =
   let ids =
@@ -129,7 +134,22 @@ let print_sarif rules (diags : Lint.diagnostic list) =
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run list_only rules_spec units par format allow_file exclude paths =
+(* Timer handles shared with lib/analysis/lint.ml — [Obs.timer] is
+   find-or-create by name, so these resolve to the cells the engine
+   accumulates into. *)
+let stats_timers = [ "eslint.callgraph.build"; "eslint.effects.infer" ]
+
+let print_stats () =
+  List.iter
+    (fun name ->
+      let t = Obs.timer name in
+      Printf.eprintf "eslint: stats: %s count=%d total=%s\n" name
+        (Obs.timer_count t)
+        (Obs.pp_duration (Obs.timer_total t)))
+    stats_timers
+
+let run list_only rules_spec only_spec skip_spec units par effects stats format
+    allow_file exclude paths =
   if list_only then list_rules ()
   else
     let fail msg =
@@ -137,9 +157,10 @@ let run list_only rules_spec units par format allow_file exclude paths =
       2
     in
     let rules =
-      match rules_spec with
-      | None -> Ok Rules.all
-      | Some spec -> parse_rules spec
+      match (rules_spec, only_spec) with
+      | Some _, Some _ -> Error "--rules and --only are aliases; give only one"
+      | None, None -> Ok Rules.all
+      | Some spec, None | None, Some spec -> parse_rules spec
     in
     let rules =
       Result.map
@@ -148,9 +169,21 @@ let run list_only rules_spec units par format allow_file exclude paths =
             if units then rs
             else List.filter (fun r -> not (List.mem r Rules.units)) rs
           in
-          if par then rs
-          else List.filter (fun r -> not (List.mem r Rules.par)) rs)
+          let rs =
+            if par then rs
+            else List.filter (fun r -> not (List.mem r Rules.par)) rs
+          in
+          if effects then rs
+          else List.filter (fun r -> not (List.mem r Rules.effects)) rs)
         rules
+    in
+    let rules =
+      match (rules, skip_spec) with
+      | Error _, _ | _, None -> rules
+      | Ok rs, Some spec ->
+        Result.map
+          (fun skip -> List.filter (fun r -> not (List.mem r skip)) rs)
+          (parse_rules spec)
     in
     let allow =
       match allow_file with
@@ -160,7 +193,9 @@ let run list_only rules_spec units par format allow_file exclude paths =
     match (rules, allow) with
     | Error msg, _ | _, Error msg -> fail msg
     | Ok [], Ok _ ->
-      fail "empty rule list (--units=false/--par=false removed every rule)"
+      fail
+        "empty rule list (--units/--par/--effects=false or --skip removed \
+         every rule)"
     | Ok rules, Ok allow ->
       let config = { Lint.rules; allow } in
       let paths = if paths = [] then [ "." ] else paths in
@@ -168,7 +203,12 @@ let run list_only rules_spec units par format allow_file exclude paths =
       if missing <> [] then
         fail ("no such path: " ^ String.concat ", " missing)
       else begin
-        let diags, errors = Lint.lint_paths ~exclude config paths in
+        if stats then Obs.enable ();
+        let diags, errors =
+          Fun.protect
+            ~finally:(fun () -> if stats then Obs.disable ())
+            (fun () -> Lint.lint_paths ~exclude config paths)
+        in
         (match format with
         | `Human -> print_human diags errors
         | `Json -> print_json diags errors
@@ -176,6 +216,7 @@ let run list_only rules_spec units par format allow_file exclude paths =
           print_sarif rules diags;
           flush stdout;
           List.iter (fun e -> prerr_endline ("eslint: " ^ e)) errors);
+        if stats then print_stats ();
         if errors <> [] then 2 else if diags <> [] then 1 else 0
       end
 
@@ -187,6 +228,17 @@ let cmd =
     Arg.(value & opt (some string) None
          & info [ "rules" ] ~docv:"RULES"
              ~doc:"Comma-separated rule ids to enforce (default: all).")
+  in
+  let only_arg =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"RULES"
+             ~doc:"Alias of $(b,--rules): enforce exactly these rule ids.")
+  in
+  let skip_arg =
+    Arg.(value & opt (some string) None
+         & info [ "skip" ] ~docv:"RULES"
+             ~doc:"Comma-separated rule ids to drop from the selection; \
+                   unknown ids are an error.")
   in
   let units_arg =
     Arg.(value & opt bool true
@@ -202,6 +254,22 @@ let cmd =
                    ownership checks over parallel regions, with witness call \
                    chains in the messages. On by default; $(b,--par=false) \
                    switches the family off.")
+  in
+  let effects_arg =
+    Arg.(value & opt bool true
+         & info [ "effects" ] ~docv:"BOOL"
+             ~doc:"Enable the exception-flow and resource-lifecycle pass \
+                   (X001-X002, R001-R003): may-raise effect inference over \
+                   the cross-module call graph, undocumented raising \
+                   exports, raising parallel callbacks and leak/protocol \
+                   checking with witness chains. On by default; \
+                   $(b,--effects=false) switches the family off.")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Report analysis-phase timings (call-graph construction, \
+                   effect inference) on stderr after the run.")
   in
   let format_arg =
     Arg.(value
@@ -240,7 +308,8 @@ let cmd =
             parallel-safety invariants."
   in
   Cmd.v info
-    Term.(const run $ list_arg $ rules_arg $ units_arg $ par_arg $ format_arg
-          $ allow_arg $ exclude_arg $ paths_arg)
+    Term.(const run $ list_arg $ rules_arg $ only_arg $ skip_arg $ units_arg
+          $ par_arg $ effects_arg $ stats_arg $ format_arg $ allow_arg
+          $ exclude_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

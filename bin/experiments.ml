@@ -9,6 +9,13 @@ module Stats = Es_util.Stats
 module Par = Es_par.Par
 module Pool = Es_par.Pool
 
+(* X002 allowed file-wide: every sweep maps a solver over instances
+   this harness just generated, so the solvers' documented @raise
+   contracts (malformed DAG, infeasible window) cannot trigger — and
+   if a bug ever makes one trigger, the run SHOULD die loudly at the
+   joiner, not average a partial table. *)
+[@@@lint.allow "X002"]
+
 (* --jobs N: worker domains for the repetition sweeps (0 = the
    machine's recommended domain count).  The pool is created lazily on
    first use and shut down at the end of the run; with --jobs 1
@@ -25,23 +32,17 @@ let set_jobs j =
   jobs := (if j <= 0 then (Domain.recommended_domain_count () [@lint.allow "P004"]) else j)
 
 let pool : Pool.t option ref = ref None
+let current_pool () = !pool
 
-let current_pool () =
-  if !jobs <= 1 then None
+(* Run [f] with the worker pool installed for its dynamic extent
+   (when [--jobs N] asks for more than one domain); [Pool.with_pool]
+   owns the shutdown on both the normal and the exceptional path. *)
+let with_jobs f =
+  if !jobs <= 1 then f ()
   else
-    match !pool with
-    | Some _ as p -> p
-    | None ->
-      let p = Pool.create ~domains:!jobs () in
-      pool := Some p;
-      Some p
-
-let shutdown_pool () =
-  match !pool with
-  | Some p ->
-    pool := None;
-    Pool.shutdown p
-  | None -> ()
+    Pool.with_pool ~domains:!jobs (fun p ->
+        pool := Some p;
+        Fun.protect ~finally:(fun () -> pool := None) f)
 
 let pmap f xs = Par.parallel_map ?pool:(current_pool ()) f xs
 let pmap_seeded ~rng f xs = Par.map_seeded ?pool:(current_pool ()) ~rng f xs
@@ -1101,11 +1102,14 @@ let jobs_arg =
 
 let with_stats stats f =
   if stats then Es_obs.Obs.enable ();
-  Fun.protect ~finally:shutdown_pool f;
-  if stats then begin
-    print_newline ();
-    print_string (Es_obs.Obs.render_text (Es_obs.Obs.snapshot ()))
-  end
+  Fun.protect
+    ~finally:(fun () -> if stats then Es_obs.Obs.disable ())
+    (fun () ->
+      with_jobs f;
+      if stats then begin
+        print_newline ();
+        print_string (Es_obs.Obs.render_text (Es_obs.Obs.snapshot ()))
+      end)
 
 let trials_arg =
   Arg.(value & opt int 50_000 & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials (E10).")

@@ -176,6 +176,19 @@ let add_source t ~file str =
   let module_name = module_name_of_file file in
   Hashtbl.replace t.file_module file module_name;
   Hashtbl.replace t.modules module_name ();
+  (* [module S = Set.Make (Int)] aliases S to the functor's parent
+     (Set): the instance's operations behave like the parent module's,
+     which is what the effect catalogue knows about *)
+  let register_functor_alias ~file sub (f : Parsetree.module_expr) =
+    match f.pmod_desc with
+    | Pmod_ident { txt; _ } -> (
+      match flatten_longident txt with
+      | Some segs when List.length segs >= 2 ->
+        let parent = List.filteri (fun i _ -> i < List.length segs - 1) segs in
+        Hashtbl.replace t.aliases (file, sub) parent
+      | _ -> ())
+    | _ -> ()
+  in
   let rec declare ~module_name (items : Parsetree.structure) =
     List.iter
       (fun (si : Parsetree.structure_item) ->
@@ -217,11 +230,32 @@ let add_source t ~file str =
             | Pmod_structure sub_items ->
               Hashtbl.replace t.modules sub ();
               declare ~module_name:sub sub_items
+            | Pmod_apply (f, _) -> register_functor_alias ~file sub f
             | _ -> ()))
         | _ -> ())
       items
   in
   declare ~module_name str;
+  (* [let module Q = Set.Make (Int) in ...] registers the same
+     functor-parent alias; expression-level, so a dedicated sweep *)
+  let letmodule_iter =
+    let open Ast_iterator in
+    let expr_iter iter (e : Parsetree.expression) =
+      (match e.pexp_desc with
+      | Pexp_letmodule ({ txt = Some sub; _ }, me, _) -> (
+        match me.pmod_desc with
+        | Pmod_apply (f, _) -> register_functor_alias ~file sub f
+        | Pmod_ident { txt; _ } -> (
+          match flatten_longident txt with
+          | Some segs -> Hashtbl.replace t.aliases (file, sub) segs
+          | None -> ())
+        | _ -> ())
+      | _ -> ());
+      default_iterator.expr iter e
+    in
+    { default_iterator with expr = expr_iter }
+  in
+  letmodule_iter.structure letmodule_iter str;
   (* pass 2: edges only — defs are entirely owned by pass 1, so every
      module-local reference (including forward and recursive ones)
      resolves against the complete declaration set *)
@@ -264,6 +298,10 @@ let edges t id =
 
 let nodes t =
   Hashtbl.fold (fun id _ acc -> SSet.add id acc) t.defs SSet.empty
+  |> SSet.elements
+
+let edge_sources t =
+  Hashtbl.fold (fun id _ acc -> SSet.add id acc) t.edges SSet.empty
   |> SSet.elements
 
 (* ------------------------------------------------------------------ *)

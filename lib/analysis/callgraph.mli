@@ -55,6 +55,12 @@ val edges : t -> string -> (string * Location.t) list
 val nodes : t -> string list
 (** Every node key, sorted. *)
 
+val edge_sources : t -> string list
+(** Every name with a (possibly empty) recorded edge list, sorted.
+    Superset-disjoint from {!nodes} only in synthetic {!of_edges}
+    graphs, where edges exist without defs; the {!Effects} fixpoint
+    iterates over the union of both. *)
+
 val reachable : t -> roots:string list -> string list
 (** Every name reachable from [roots] (roots included), following
     edges transitively; terminal names (no outgoing edges) are

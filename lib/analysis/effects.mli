@@ -1,0 +1,138 @@
+(** May-raise effect inference over the {!Callgraph} (layer 1 of the
+    exception-flow pass; {!Resource_rules} is layer 2).
+
+    A summary is an element of the lattice
+
+    {v  Known {} ⊑ Known {Failure} ⊑ ... ⊑ Known S ⊑ Top  v}
+
+    read "this binding can raise at most the exceptions of S" — [Top]
+    means an unknown external was reached in call position and anything
+    may come out.  [infer] runs a monotone fixpoint over every node of
+    the graph: a node's summary is the effect of its bound expression,
+    where
+
+    - [raise (C ...)], [failwith], [invalid_arg] and the known-partial
+      stdlib catalogue (the E002 list plus channel I/O) introduce
+      exceptions;
+    - a [match]/[function] over constant patterns with no catch-all
+      introduces [Match_failure];
+    - [try ... with] narrows the body's summary — an unguarded
+      catch-all clears it (including [Top]), a specific constructor
+      pattern removes that constructor, guarded handlers narrow
+      nothing, and the handler bodies' own effects are added back;
+    - calling another node of the graph contributes that node's
+      current summary (so narrowing applies to callee effects too);
+    - calling an unknown external is [Top]; whitelisted pure stdlib
+      names and prefixes contribute nothing;
+    - applying a locally-bound name (parameter or [let]-bound closure)
+      contributes nothing: closure {e bodies} are charged to the
+      binding that contains them, and a parameter's effects belong to
+      the caller;
+    - nodes of the sanctioned owners (lib/par, lib/obs — see
+      {!Par_rules.is_sanctioned_file}) are treated as pure: their
+      raise contracts are documented manually and their internals are
+      excluded, mirroring the P-pass sanctioning.
+
+    Exceptions are identified by the {e last segment} of their
+    constructor path ([Queue.Empty] and [Stack.Empty] collide on
+    ["Empty"]), a deliberate trade against the untyped AST.  Soundness
+    caveats (DESIGN.md §9): ambient exceptions ([Assert_failure],
+    [Division_by_zero], array/string bounds) are not tracked, and an
+    unknown external {e referenced} but not applied contributes
+    nothing. *)
+
+module SSet : Set.S with type elt = string
+
+type t =
+  | Known of SSet.t  (** at most these exception constructors *)
+  | Top  (** an unknown external was called — anything may raise *)
+
+val pure : t
+(** [Known {}]. *)
+
+val is_pure : t -> bool
+
+val equal : t -> t -> bool
+
+val union : t -> t -> t
+(** Lattice join; [Top] absorbs. *)
+
+val mem : string -> t -> bool
+(** May this summary raise the given constructor?  Always true for
+    [Top]. *)
+
+val to_list : t -> string list option
+(** Sorted exception names, or [None] for [Top]. *)
+
+val binders : Parsetree.expression -> string list
+(** Every name bound by any pattern under the expression (parameters,
+    lets, match arms) — what {!Resource_rules} passes as [bound] when
+    summarising a subexpression of a larger binding. *)
+
+type env
+(** The result of one fixpoint run: per-node summaries, per-node
+    direct (intraprocedural) seeds, and first-raise-site locations for
+    witness reconstruction. *)
+
+val infer : ?seeds:(string * t) list -> Callgraph.t -> env
+(** Run the fixpoint.  [seeds] force a base summary onto named nodes —
+    used by the synthetic-graph property tests ([of_edges] graphs have
+    no defs, so their nodes propagate seeds along raw edges instead of
+    evaluating bodies). *)
+
+val graph : env -> Callgraph.t
+
+val summary : env -> string -> t
+(** Full interprocedural summary of a node; [pure] for unknown
+    names. *)
+
+val direct : env -> string -> t
+(** Intraprocedural seed only: what the node's own body introduces,
+    with callee nodes treated as pure.  Witness chains bottom out on
+    nodes whose direct summary contains the exception. *)
+
+val raise_site : env -> string -> string -> Location.t option
+(** First location in the node's body that introduces the exception
+    (the [raise]/[failwith]/catalogue call recorded while computing
+    {!direct}). *)
+
+val expr_summary :
+  ?mask:(Parsetree.expression -> bool) ->
+  ?bound:string list ->
+  env ->
+  file:string ->
+  Parsetree.expression ->
+  t
+(** Effect of an arbitrary expression in [file]'s resolution scope,
+    looking callee nodes up in [env].  [mask] prunes subtrees (treated
+    as pure) — {!Resource_rules} masks release calls and everything
+    after them; [bound] adds names bound by enclosing patterns (the
+    expression's own binders are always included). *)
+
+type evidence = {
+  e_exn : string option;
+      (** the exception, or [None] when only an unknown external is to
+          blame *)
+  e_hops : (string * Location.t) list;
+      (** call-chain hops, ["name@file:line"]-renderable, ending at
+          the introduction site *)
+}
+
+val expr_evidence :
+  ?mask:(Parsetree.expression -> bool) ->
+  ?bound:string list ->
+  env ->
+  file:string ->
+  Parsetree.expression ->
+  evidence option
+(** First concrete raise evidence inside the expression, in reading
+    order: a direct [raise]/catalogue hit, or a reference to a raising
+    node followed by its {!witness} chain.  [None] when the expression
+    is pure (or its impurity has no nameable source). *)
+
+val witness : env -> string -> exn:string -> (string * Location.t) list
+(** Shortest reference chain from the node to a binding whose
+    {!direct} summary introduces [exn], as
+    [(callee, reference site); ...; (exn, raise site)].  Empty when
+    the node's summary does not contain [exn] or no direct introducer
+    is reachable (a [Top] cause). *)

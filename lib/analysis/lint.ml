@@ -431,8 +431,17 @@ let units_enabled config =
 let par_enabled config =
   List.exists (fun r -> List.mem r config.rules) Rules.par
 
-let lint_source ?(units_env = Units_rules.empty_env ()) ?par_ctx config ~file
-    contents =
+let effects_enabled config =
+  List.exists (fun r -> List.mem r config.rules) Rules.effects
+
+module Obs = Es_obs.Obs
+
+(* [eslint --stats] reads these back from the Obs snapshot *)
+let callgraph_timer = Obs.timer "eslint.callgraph.build"
+let effects_timer = Obs.timer "eslint.effects.infer"
+
+let lint_source ?(units_env = Units_rules.empty_env ()) ?par_ctx ?eff config
+    ~file contents =
   let st = { src_file = file; findings = []; suppressions = []; errors = [] } in
   let lexbuf = Lexing.from_string contents in
   Location.init lexbuf file;
@@ -450,6 +459,15 @@ let lint_source ?(units_env = Units_rules.empty_env ()) ?par_ctx config ~file
         if units_enabled config then
           Units_rules.check_interface ~annotate_scope:(is_units_scope file)
             ~report:report_units ~error:error_units sg;
+        (* X001 needs the cross-file summaries of a directory run; a
+           bare interface lint has no implementation to summarise *)
+        (if effects_enabled config then
+           match eff with
+           | Some env ->
+             Resource_rules.check_interface ~eff:env ~file
+               ~report:(fun rule loc msg -> report st rule loc msg)
+               sg
+           | None -> ());
         Ok ()
       | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) ->
         Error (parse_error_message file exn))
@@ -465,22 +483,37 @@ let lint_source ?(units_env = Units_rules.empty_env ()) ?par_ctx config ~file
           Units_rules.check_structure units_env
             ~module_name:(Units_rules.module_name_of_file file)
             ~report:report_units ~error:error_units str;
-        if par_enabled config then begin
-          (* directory runs share the cross-module graph from pass 1;
-             a bare single-file lint still gets intra-file traces from
-             a graph over just this structure *)
-          let ctx =
-            match par_ctx with
-            | Some ctx -> ctx
-            | None ->
-              let g = Callgraph.create () in
-              Callgraph.add_source g ~file str;
-              Par_rules.make_ctx g
-          in
-          Par_rules.check_structure ctx ~file
-            ~report:(fun rule loc msg -> report st rule loc msg)
-            str
-        end;
+        (if par_enabled config || effects_enabled config then begin
+           (* directory runs share the cross-module graph from pass 1;
+              a bare single-file lint still gets intra-file traces
+              from a graph over just this structure *)
+           let local_graph =
+             lazy
+               (let g = Callgraph.create () in
+                Callgraph.add_source g ~file str;
+                g)
+           in
+           let ctx =
+             match par_ctx with
+             | Some ctx -> ctx
+             | None -> Par_rules.make_ctx (Lazy.force local_graph)
+           in
+           if par_enabled config then
+             Par_rules.check_structure ctx ~file
+               ~report:(fun rule loc msg -> report st rule loc msg)
+               str;
+           if effects_enabled config then begin
+             let env =
+               match eff with
+               | Some env -> env
+               | None -> Effects.infer (Lazy.force local_graph)
+             in
+             Resource_rules.check_structure ~eff:env
+               ~is_former:(Par_rules.is_former ctx) ~file
+               ~report:(fun rule loc msg -> report st rule loc msg)
+               str
+           end
+         end);
         Ok ()
       | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) ->
         Error (parse_error_message file exn)
@@ -515,31 +548,34 @@ let build_units_env config files =
       files;
   env
 
-(* Pass 1 of the parallel-safety analysis: one call graph over every
-   .ml of the lint set.  Parse failures are ignored here — the file
-   surfaces its own error when linted in pass 2. *)
+(* Pass 1 of both interprocedural analyses: ONE call graph over every
+   .ml of the lint set, shared by the parallel-safety and the
+   exception-flow/resource passes.  Parse failures are ignored here —
+   the file surfaces its own error when linted in pass 2. *)
+let build_graph files =
+  Obs.time callgraph_timer (fun () ->
+      let graph = Callgraph.create () in
+      List.iter
+        (fun file ->
+          if Filename.check_suffix file ".ml" then
+            match In_channel.with_open_text file In_channel.input_all with
+            | contents -> (
+              let lexbuf = Lexing.from_string contents in
+              Location.init lexbuf file;
+              match Parse.implementation lexbuf with
+              | str -> Callgraph.add_source graph ~file str
+              | exception (Syntaxerr.Error _ | Lexer.Error _) -> ())
+            | exception Sys_error _ -> ())
+        files;
+      graph)
+
 let build_par_ctx config files =
   if not (par_enabled config) then Par_rules.empty_ctx ()
-  else begin
-    let graph = Callgraph.create () in
-    List.iter
-      (fun file ->
-        if Filename.check_suffix file ".ml" then
-          match In_channel.with_open_text file In_channel.input_all with
-          | contents -> (
-            let lexbuf = Lexing.from_string contents in
-            Location.init lexbuf file;
-            match Parse.implementation lexbuf with
-            | str -> Callgraph.add_source graph ~file str
-            | exception (Syntaxerr.Error _ | Lexer.Error _) -> ())
-          | exception Sys_error _ -> ())
-      files;
-    Par_rules.make_ctx graph
-  end
+  else Par_rules.make_ctx (build_graph files)
 
-let lint_file_in_env ?par_ctx config ~units_env file =
+let lint_file_in_env ?par_ctx ?eff config ~units_env file =
   match In_channel.with_open_text file In_channel.input_all with
-  | contents -> lint_source ~units_env ?par_ctx config ~file contents
+  | contents -> lint_source ~units_env ?par_ctx ?eff config ~file contents
   | exception Sys_error msg -> Error msg
 
 let lint_file config file =
@@ -621,10 +657,23 @@ let lint_paths ?(exclude = []) config paths =
     |> List.sort_uniq String.compare
   in
   let units_env = build_units_env config files in
-  let par_ctx = build_par_ctx config files in
+  (* the callgraph is built once per run and shared between the P and
+     X/R passes; the par ctx is needed even for an effects-only run
+     (X002 asks it which nodes are derived combinators) *)
+  let graph =
+    if par_enabled config || effects_enabled config then
+      Some (build_graph files)
+    else None
+  in
+  let par_ctx = Option.map Par_rules.make_ctx graph in
+  let eff =
+    if effects_enabled config then
+      Option.map (fun g -> Obs.time effects_timer (fun () -> Effects.infer g)) graph
+    else None
+  in
   List.fold_left
     (fun (diags, errors) file ->
-      match lint_file_in_env ~par_ctx config ~units_env file with
+      match lint_file_in_env ?par_ctx ?eff config ~units_env file with
       | Ok ds -> (ds :: diags, errors)
       | Error msg -> (diags, msg :: errors))
     ([], []) files

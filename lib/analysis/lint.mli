@@ -36,6 +36,7 @@ val compare_diagnostic : diagnostic -> diagnostic -> int
 val lint_source :
   ?units_env:Units_rules.env ->
   ?par_ctx:Par_rules.ctx ->
+  ?eff:Effects.env ->
   config ->
   file:string ->
   string ->
@@ -45,8 +46,12 @@ val lint_source :
     surrounding directory run (default: empty — intra-file constraints
     still check); [par_ctx] carries its cross-module call graph
     (default: a graph over this file alone, so intra-file witness
-    chains still resolve).  [Error] means a parse failure or a
-    malformed [\[@lint.allow\]]/[\[@units\]] payload, not a finding. *)
+    chains still resolve); [eff] carries the may-raise summaries of
+    that graph for the X/R rules (default for [.ml]: inferred over the
+    single-file graph; X001 on a [.mli] is skipped without it, since
+    the exported values' bodies live elsewhere).  [Error] means a parse
+    failure or a malformed [\[@lint.allow\]]/[\[@units\]] payload, not
+    a finding. *)
 
 val build_units_env : config -> string list -> Units_rules.env
 (** Pass 1 of the dimensional analysis: harvest [\[@units\]]

@@ -369,6 +369,7 @@ type ctx = {
 
 let make_ctx graph = { graph; formers = region_formers graph; facts_memo = Hashtbl.create 64 }
 let empty_ctx () = make_ctx (Callgraph.create ())
+let is_former ctx name = Hashtbl.mem ctx.formers name
 
 let node_sanctioned ctx id =
   match Callgraph.defs ctx.graph id with

@@ -17,12 +17,18 @@ type t =
   | P002
   | P003
   | P004
+  | X001
+  | X002
+  | R001
+  | R002
+  | R003
 
 let all =
-  [ E001; E002; E003; E004; E005; E006; E007; U001; U002; U003; P001; P002; P003; P004 ]
+  [ E001; E002; E003; E004; E005; E006; E007; U001; U002; U003; P001; P002; P003; P004; X001; X002; R001; R002; R003 ]
 
 let units = [ U001; U002; U003 ]
 let par = [ P001; P002; P003; P004 ]
+let effects = [ X001; X002; R001; R002; R003 ]
 
 let id = function
   | E001 -> "E001"
@@ -39,6 +45,11 @@ let id = function
   | P002 -> "P002"
   | P003 -> "P003"
   | P004 -> "P004"
+  | X001 -> "X001"
+  | X002 -> "X002"
+  | R001 -> "R001"
+  | R002 -> "R002"
+  | R003 -> "R003"
 
 let of_id s =
   match String.uppercase_ascii (String.trim s) with
@@ -56,6 +67,11 @@ let of_id s =
   | "P002" -> Some P002
   | "P003" -> Some P003
   | "P004" -> Some P004
+  | "X001" -> Some X001
+  | "X002" -> Some X002
+  | "R001" -> Some R001
+  | "R002" -> Some R002
+  | "R003" -> Some R003
   | _ -> None
 
 let describe = function
@@ -110,5 +126,24 @@ let describe = function
     "Domain.* / Domain.DLS use outside the sanctioned owners lib/par and \
      lib/obs; route domain management through Es_par.Pool so the pool owns \
      every worker domain"
+  | X001 ->
+    "exported lib/ value may raise but its .mli doc comment has no @raise \
+     tag; document the contract or narrow the exceptions with try/with"
+  | X002 ->
+    "callback handed to a parallel region may raise an exception other \
+     than the sanctioned Task_error wrapping; a raise inside a worker \
+     strands the joiner — make the task total or pre-validate its inputs"
+  | R001 ->
+    "resource acquired but never released in this binding (open_in/open_out \
+     or Unix.openfile without close, Pool.create without shutdown, \
+     Mutex.lock without unlock); release it or use the with_/protect form"
+  | R002 ->
+    "code between a resource acquire and its unprotected release may raise, \
+     leaking the resource on the exceptional path; wrap the body in \
+     Fun.protect ~finally (or Mutex.protect for locks)"
+  | R003 ->
+    "Obs.enable without a balanced Obs.disable on every path (missing or \
+     unprotected while the code between may raise); put the disable in a \
+     Fun.protect ~finally"
 
 let compare_rule a b = String.compare (id a) (id b)

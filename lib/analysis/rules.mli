@@ -23,10 +23,21 @@
     - P003: blocking operation (captured locks, [Condition.wait],
       [Unix.sleep*], raw [Pool.submit] re-entry) reachable from a region.
     - P004: [Domain.*] / DLS use outside [lib/par] and [lib/obs].
+    - X001: a may-raising value is exported from a [lib/] [.mli] whose
+      doc comment carries no [@raise] tag.
+    - X002: a callback handed to a parallel region may raise something
+      other than the sanctioned [Task_error] wrapping.
+    - R001: a resource is acquired but never released in the binding
+      (channels, [Unix.openfile], [Pool.create], [Mutex.lock]).
+    - R002: the code between an acquire and its unprotected release may
+      raise (per the {!Effects} summaries), leaking on that path.
+    - R003: [Obs.enable] without a balanced, protected [Obs.disable].
 
     The U rules are the dimensional-analysis pass ({!Units},
     {!Units_rules}); the P rules are the interprocedural parallel-safety
-    pass ({!Callgraph}, {!Par_rules}). *)
+    pass ({!Callgraph}, {!Par_rules}); the X/R rules are the
+    exception-flow and resource-lifecycle pass ({!Effects},
+    {!Resource_rules}). *)
 
 type t =
   | E001
@@ -43,6 +54,11 @@ type t =
   | P002
   | P003
   | P004
+  | X001
+  | X002
+  | R001
+  | R002
+  | R003
 
 val all : t list
 (** Every rule, in catalogue order. *)
@@ -54,6 +70,10 @@ val units : t list
 val par : t list
 (** The parallel-safety family ([P001]-[P004]) — what
     [eslint --par=false] switches off. *)
+
+val effects : t list
+(** The exception-flow / resource-lifecycle family ([X001]-[R003]) —
+    what [eslint --effects=false] switches off. *)
 
 val id : t -> string
 (** ["E001"] ... ["P004"]. *)

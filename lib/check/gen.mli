@@ -32,12 +32,15 @@ val shape_name : shape -> string
 val all_shapes : shape list
 
 val dag : inst -> Dag.t
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val mapping : inst -> Mapping.t
 (** Chains map to a single processor, forks/joins/SP graphs to one
     task per processor (the closed-form settings), layered/general
     DAGs through critical-path list scheduling on [procs]
-    processors. *)
+    processors.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val fmin : inst -> (float[@units "freq"])
 val fmax : inst -> (float[@units "freq"])
@@ -45,9 +48,12 @@ val delta : inst -> (float[@units "freq"])
 
 val dmin : inst -> (float[@units "time"])
 (** Makespan with every task at [fmax] — the tightest meetable
-    deadline for this mapping. *)
+    deadline for this mapping.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val deadline : inst -> (float[@units "time"])
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val of_dag :
   shape:shape ->
@@ -64,7 +70,9 @@ val generate : ?shapes:shape list -> Es_util.Rng.t -> inst
     1–10 tasks with weights in [\[0.5, 3)], 1–3 processors, slack
     mostly in [\[1.05, 3)] (a few percent of draws are deliberately
     infeasible, [slack < 1], to exercise infeasibility paths), and a
-    2–5 point even speed grid. *)
+    2–5 point even speed grid.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val shrink : inst -> inst Seq.t
 (** Simplification candidates, most aggressive first.  Every candidate
@@ -72,12 +80,19 @@ val shrink : inst -> inst Seq.t
     failure it is chasing reproduces on it. *)
 
 val pp : Format.formatter -> inst -> unit
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
+
 val describe : inst -> string
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
+
 val to_json : inst -> Es_obs.Obs_json.t
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val qgen : ?shapes:shape list -> unit -> inst QCheck2.Gen.t
 (** QCheck2 generator with integrated shrinking over the instance
     components. *)
 
 val qprint : inst -> string
-(** Printer for QCheck2 counterexample reporting. *)
+(** Printer for QCheck2 counterexample reporting.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)

@@ -71,4 +71,6 @@ val check_general :
     (slack at most [slack_tol·deadline], default [1e-3]), and
     [probes] (default [32]) randomised duration-exchange probes
     seeded by [probe_seed] that must not find a feasible first-order
-    improvement. *)
+    improvement.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)

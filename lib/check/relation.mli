@@ -44,8 +44,15 @@ type t = {
 }
 
 val all : t list
-(** The registry, in documentation order. *)
+(** The registry, in documentation order.
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)
 
 val find : string -> t option
+(** @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)
 
 val names : unit -> string list
+(** @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)

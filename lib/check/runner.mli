@@ -47,10 +47,13 @@ val shrink_to_minimal :
 val run_relation :
   ?max_failures:int -> seed:int -> trials:int -> Relation.t -> summary
 (** Fuzz one relation.  Stops early once [max_failures] (default [5])
-    counterexamples have been collected and shrunk. *)
+    counterexamples have been collected and shrunk.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val run :
   ?max_failures:int -> seed:int -> trials:int -> Relation.t list -> report
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val ok : report -> bool
 (** No failures anywhere. *)
@@ -61,6 +64,9 @@ val repro : failure -> string
 val render : report -> string
 (** Human-readable text: a per-relation tally plus, for each
     counterexample, the verdict, the shrunk instance and the repro
-    command. *)
+    command.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val to_json : report -> Es_obs.Obs_json.t
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)

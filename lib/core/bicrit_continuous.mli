@@ -82,7 +82,9 @@ val solve_general :
     already misses the deadline.  Accuracy is that of the barrier
     method: duality gap ≤ [tol] (default [1e-8]; the TRI-CRIT
     heuristics probe candidate subsets at a looser tolerance and only
-    polish the winner at full precision). *)
+    polish the winner at full precision).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val solve :
   deadline:(float[@units "time"]) ->
@@ -91,7 +93,9 @@ val solve :
   Mapping.t ->
   Schedule.t option
 (** BI-CRIT on a mapped DAG: {!solve_general} with uniform bounds,
-    packaged as a single-execution {!Schedule.t}. *)
+    packaged as a single-execution {!Schedule.t}.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val energy_lower_bound :
   deadline:(float[@units "time"]) ->
@@ -102,4 +106,6 @@ val energy_lower_bound :
 (** The continuous optimum — a valid lower bound for every model and
     for TRI-CRIT (re-executions only add energy), used to normalise
     heuristic results in the experiments.  Falls back to
-    [Σ wᵢ·fmin²] when the instance is deadline-infeasible. *)
+    [Σ wᵢ·fmin²] when the instance is deadline-infeasible.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)

@@ -40,7 +40,9 @@ val round_up :
   Schedule.t option
 (** Continuous relaxation + per-task round-up.  [None] when the
     relaxation is infeasible or a rounded speed exceeds the largest
-    level. *)
+    level.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val ratio_bound : levels:(float[@units "freq"]) array -> (float[@units "dimensionless"])
 (** The a-priori approximation ratio of {!round_up} on instances where

@@ -23,7 +23,9 @@ val approximate :
   Mapping.t ->
   Schedule.t option
 (** Continuous solve + grid round-up.  [None] when the continuous
-    relaxation is infeasible (then the INCREMENTAL instance is too). *)
+    relaxation is infeasible (then the INCREMENTAL instance is too).
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val bound :
   fmin:(float[@units "freq"]) ->
@@ -40,4 +42,6 @@ val grid :
   delta:(float[@units "freq"]) ->
   (float[@units "freq"]) array
 (** The admissible speed set of the model (exposed for reuse by the
-    DISCRETE solvers in experiments). *)
+    DISCRETE solvers in experiments).
+
+    @raise Invalid_argument unless [delta > 0]. *)

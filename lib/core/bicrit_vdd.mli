@@ -32,7 +32,10 @@ val solve :
 (** Solve the LP; [None] when even all-[fmax] misses the deadline
     (the LP is then infeasible).  Parts with negligible time share
     (< 1e-9 relative to the task duration) are dropped from the
-    returned schedule. *)
+    returned schedule.
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)
 
 val two_speed_support : levels:(float[@units "freq"]) array -> Schedule.t -> bool
 (** Whether every task uses at most two distinct speeds, and those two
@@ -44,7 +47,9 @@ val energy :
   levels:(float[@units "freq"]) array ->
   Mapping.t ->
   (float[@units "energy"]) option
-(** Optimal objective value without materialising the schedule. *)
+(** Optimal objective value without materialising the schedule.
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit). *)
 
 val energy_with_deadline_price :
   deadline:(float[@units "time"]) ->
@@ -55,7 +60,9 @@ val energy_with_deadline_price :
     multipliers of the deadline rows — the marginal energy a tighter
     deadline would cost, i.e. the slope of the Pareto front at [D]
     (non-positive; experiment E17 cross-checks it against finite
-    differences). *)
+    differences).
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit). *)
 
 val emulate_continuous :
   levels:(float[@units "freq"]) array ->
@@ -67,4 +74,6 @@ val emulate_continuous :
     a mix of the two bracketing levels that preserves the execution
     time ([time-matching]: shares solve [α·f₋ + β·f₊ = w],
     [α + β = w/f]).  [None] if some speed falls outside the level
-    range. *)
+    range.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)

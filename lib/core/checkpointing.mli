@@ -42,7 +42,9 @@ type solution = {
 val segment_floor :
   rel:Rel.params -> work:(float[@units "work"]) -> (float[@units "freq"]) option
 (** Minimum speed at which two attempts of a segment with total work
-    [work] satisfy the segment reliability constraint. *)
+    [work] satisfy the segment reliability constraint.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val evaluate :
   rel:Rel.params ->
@@ -53,7 +55,9 @@ val evaluate :
   solution option
 (** Optimal speeds (waterfilling with per-segment floors) for a given
     segmentation; [None] when infeasible or when the lengths do not
-    partition the chain. *)
+    partition the chain.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val solve :
   ?speed_grid:int ->
@@ -66,7 +70,9 @@ val solve :
     speed levels: per level, an interval DP picks the
     minimum-"energy at that level" segmentation, then {!evaluate}
     re-optimises its speeds exactly.  Returns the cheapest feasible
-    result. *)
+    result.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val reexec_equivalent :
   rel:Rel.params ->
@@ -75,4 +81,6 @@ val reexec_equivalent :
   solution option
 (** The degenerate comparison point: one task per segment and zero
     checkpoint cost — numerically equal to
-    {!Tricrit_chain.evaluate_subset} with every task re-executed. *)
+    {!Tricrit_chain.evaluate_subset} with every task re-executed.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)

@@ -38,7 +38,10 @@ val of_two_partition : int array -> two_partition
 val decide_two_partition : int array -> bool
 (** Answer 2-PARTITION by solving the reduced instance with
     {!Bicrit_discrete.solve_exact} and comparing to the threshold.
-    Exponential in the worst case — for tests on small inputs. *)
+    Exponential in the worst case — for tests on small inputs.
+
+    @raise Failure if the exact search exhausts its node budget.
+    @raise Invalid_argument if an argument violates a documented precondition. *)
 
 val two_partition_brute_force : int array -> bool
 (** Direct subset enumeration, the test oracle. *)
@@ -57,7 +60,9 @@ val knapsack_view :
   knapsack option
 (** The knapsack structure of the loose-deadline chain (valid when
     every floor dominates the common level; [None] if some task cannot
-    be re-executed at all). *)
+    be re-executed at all).
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val knapsack_optimal : knapsack -> bool array * (float[@units "energy"])
 (** Enumerate subsets: maximise total saving within the budget.
@@ -67,4 +72,6 @@ val incremental_of_two_partition : int array -> two_partition
 (** The same reduction targeted at the INCREMENTAL model: the speed set
     [{1, 2}] is the grid [fmin = 1, δ = 1, fmax = 2], so the instance
     witnesses NP-completeness of INCREMENTAL BI-CRIT as well (the paper
-    derives DISCRETE hardness "and hence" INCREMENTAL). *)
+    derives DISCRETE hardness "and hence" INCREMENTAL).
+
+    @raise Invalid_argument on an empty item list. *)

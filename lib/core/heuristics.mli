@@ -32,11 +32,15 @@ val evaluate_subset :
   solution option
 (** Optimal speeds for a fixed re-execution subset (one barrier solve
     at duality gap [tol], default [1e-8]).  [None] when the subset does
-    not fit the deadline or a task cannot meet reliability. *)
+    not fit the deadline or a task cannot meet reliability.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val baseline :
   rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
-(** No re-execution: BI-CRIT with a global [f_rel] floor. *)
+(** No re-execution: BI-CRIT with a global [f_rel] floor.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val chain_oriented :
   rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
@@ -45,7 +49,9 @@ val chain_oriented :
     search prefix sizes of that ranking (doubling scan plus local
     refinement, one subset evaluation per probe) and keep the best
     feasible subset.  Mirrors the chain strategy: re-execution is paid
-    for by uniformly slowing the whole schedule. *)
+    for by uniformly slowing the whole schedule.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val parallel_oriented :
   rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
@@ -54,7 +60,9 @@ val parallel_oriented :
     absorbs the extra execution time without moving the critical path,
     most-slack first; one final subset evaluation optimises the
     speeds.  Mirrors the fork strategy: re-executions go where
-    parallelism makes them free. *)
+    parallelism makes them free.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 type winner = Chain_oriented | Parallel_oriented | Baseline_only
 
@@ -64,7 +72,9 @@ val best_of :
   Mapping.t ->
   (solution * winner) option
 (** The paper's headline combination: run both families (and the
-    baseline) and keep the cheapest feasible schedule. *)
+    baseline) and keep the cheapest feasible schedule.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val winner_name : winner -> string
 (** ["chain-oriented"], ["parallel-oriented"] or ["baseline"] — for
@@ -84,11 +94,15 @@ val local_search :
     keep the best improvement; candidate probes run at a loose barrier
     tolerance and the final winner is re-evaluated at full precision.
     Never returns a worse solution.  Closes most of the gap the prefix
-    structure of family A leaves on irregular DAGs (experiment E13). *)
+    structure of family A leaves on irregular DAGs (experiment E13).
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val best_of_refined :
   rel:Rel.params ->
   deadline:(float[@units "time"]) ->
   Mapping.t ->
   (solution * winner) option
-(** {!best_of} followed by {!local_search} on the winner. *)
+(** {!best_of} followed by {!local_search} on the winner.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)

@@ -17,14 +17,20 @@ val relaxation :
   deadline:(float[@units "time"]) ->
   Mapping.t ->
   (float[@units "energy"])
-(** CONTINUOUS BI-CRIT optimum over [\[fmin, fmax\]]. *)
+(** CONTINUOUS BI-CRIT optimum over [\[fmin, fmax\]].
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val per_task : rel:Rel.params -> Mapping.t -> (float[@units "energy"])
-(** [Σᵢ min(wᵢ·max(fmin,f_rel)², 2wᵢ·max(fmin,f_loᵢ)²)]. *)
+(** [Σᵢ min(wᵢ·max(fmin,f_rel)², 2wᵢ·max(fmin,f_loᵢ)²)].
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val tricrit :
   rel:Rel.params ->
   deadline:(float[@units "time"]) ->
   Mapping.t ->
   (float[@units "energy"])
-(** [max(relaxation, per_task)]. *)
+(** [max(relaxation, per_task)].
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)

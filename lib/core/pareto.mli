@@ -21,7 +21,9 @@ val bicrit_front :
   point list
 (** CONTINUOUS BI-CRIT optimum per deadline; infeasible deadlines are
     skipped.  With [?pool], deadlines are solved on the pool's worker
-    domains; the front is identical either way. *)
+    domains; the front is identical either way.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val tricrit_front :
   ?pool:Es_par.Pool.t ->
@@ -30,7 +32,9 @@ val tricrit_front :
   Mapping.t ->
   point list
 (** Best-of-two-heuristics TRI-CRIT energy per deadline.  [?pool] as
-    in {!bicrit_front}. *)
+    in {!bicrit_front}.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val dominates : point -> point -> bool
 (** [dominates a b] when [a] is no worse on both axes and better on

@@ -39,7 +39,9 @@ val evaluate :
   kinds:kind array ->
   solution option
 (** Optimal speeds for fixed per-task choices via the generalised
-    waterfilling; [None] when infeasible. *)
+    waterfilling; [None] when infeasible.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val solve_exact :
   ?max_n:int ->
@@ -47,7 +49,9 @@ val solve_exact :
   deadline:(float[@units "time"]) ->
   weights:(float[@units "work"]) array ->
   solution option
-(** Enumerate all [3ⁿ] option vectors (guard [max_n], default 12). *)
+(** Enumerate all [3ⁿ] option vectors (guard [max_n], default 12).
+
+    @raise Invalid_argument if the instance exceeds the exhaustive-search size bound. *)
 
 val solve_greedy :
   rel:Rel.params ->
@@ -55,7 +59,9 @@ val solve_greedy :
   weights:(float[@units "work"]) array ->
   solution option
 (** Local search over per-task option toggles, mirroring
-    {!Tricrit_chain.solve_greedy}. *)
+    {!Tricrit_chain.solve_greedy}.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val reexec_only :
   rel:Rel.params ->
@@ -63,6 +69,8 @@ val reexec_only :
   weights:(float[@units "work"]) array ->
   solution option
 (** Best solution with [Replicate] forbidden — the comparison baseline
-    showing what the mirror processor buys. *)
+    showing what the mirror processor buys.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val kind_name : kind -> string

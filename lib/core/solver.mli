@@ -39,4 +39,7 @@ val solve : ?exact_threshold:int -> request -> (answer, string) result
     the exponential exact engines are used in NP-complete cells.
     Errors are human-readable: infeasible deadline, unsupported
     model/reliability combination, or inconsistent parameters (e.g.
-    [rel] bounds disagreeing with the model's). *)
+    [rel] bounds disagreeing with the model's).
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)

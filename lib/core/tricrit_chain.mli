@@ -31,7 +31,9 @@ val waterfill :
     [Σ Wᵢ/fᵢ ≤ D] and [floorᵢ ≤ fᵢ ≤ fmax].  The optimum sets
     [fᵢ = max(f_c, floorᵢ)] for a common level [f_c] (KKT); [f_c] is
     found by bisection on the total-time curve.  [None] when even
-    all-[fmax] misses [D]. *)
+    all-[fmax] misses [D].
+
+    @raise Invalid_argument if an argument violates a documented precondition. *)
 
 val evaluate_subset :
   rel:Rel.params ->
@@ -44,7 +46,9 @@ val evaluate_subset :
     subset, weight [wᵢ] and floor [max(fmin, f_rel)] otherwise, then
     {!waterfill}.  [None] if infeasible (deadline too tight for this
     subset, or a task in the subset cannot meet the reliability
-    constraint even at [fmax]). *)
+    constraint even at [fmax]).
+
+    @raise Invalid_argument if the mapping is not a single-processor chain. *)
 
 val solve_exact :
   ?max_n:int ->
@@ -60,13 +64,17 @@ val solve_greedy :
 (** Greedy subset construction: starting from [S = ∅], repeatedly add
     (or drop) the task whose toggle decreases energy the most, until a
     local minimum.  Polynomial ([O(n²)] waterfills) and, in the
-    experiments, within a fraction of a percent of {!solve_exact}. *)
+    experiments, within a fraction of a percent of {!solve_exact}.
+
+    @raise Invalid_argument if the mapping is not a single-processor chain. *)
 
 val no_reexecution :
   rel:Rel.params -> deadline:(float[@units "time"]) -> Mapping.t -> solution option
 (** The BI-CRIT-with-floor baseline ([S = ∅]): every task once, at
     least at [f_rel].  The gap to {!solve_greedy} is the energy that
-    re-execution reclaims (experiment E6). *)
+    re-execution reclaims (experiment E6).
+
+    @raise Invalid_argument if the mapping is not a single-processor chain. *)
 
 val solve_dp :
   ?buckets:int ->
@@ -84,4 +92,6 @@ val solve_dp :
     rounding item costs {e up} so the selected subset is always
     feasible, and finishes with the exact waterfilling on the selected
     subset.  Outside the loose regime it is a heuristic (the greedy and
-    exact solvers remain the references). *)
+    exact solvers remain the references).
+
+    @raise Invalid_argument if the mapping is not a single-processor chain. *)

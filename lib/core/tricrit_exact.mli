@@ -26,7 +26,9 @@ val solve :
 
 val candidates : rel:Rel.params -> Dag.t -> bool array
 (** The dominance prune: [true] for tasks whose re-execution could ever
-    reduce energy. *)
+    reduce energy.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val heuristic_gap :
   ?max_n:int ->
@@ -35,4 +37,6 @@ val heuristic_gap :
   Mapping.t ->
   (float[@units "dimensionless"]) option
 (** Convenience for experiment E13: energy(best-of heuristics) /
-    energy(exact), [None] when the instance is infeasible. *)
+    energy(exact), [None] when the instance is infeasible.
+
+    @raise Invalid_argument if the candidate set exceeds the exhaustive-search bound. *)

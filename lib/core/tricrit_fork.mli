@@ -26,7 +26,9 @@ val best_in_window :
 (** Cheapest feasible way to run a task of weight [w] inside a time
     window: once at [max(f_rel, w/window)] or twice at
     [max(f_lo, 2w/window)], whichever is cheaper; [None] when neither
-    fits below [fmax].  This is the per-child oracle. *)
+    fits below [fmax].  This is the per-child oracle.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 type solution = {
   schedule : Schedule.t;

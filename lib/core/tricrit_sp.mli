@@ -27,10 +27,14 @@ val decide_subset :
 (** The window-allocation pass: re-execution decisions per leaf, in
     {!Sp.to_dag} leaf order.  Leaves whose window admits no feasible
     execution at all are marked [false] (the polish step will speed
-    them up). *)
+    them up).
+
+    @raise Invalid_argument if the mapping does not match the series-parallel tree shape. *)
 
 val solve :
   rel:Rel.params -> deadline:(float[@units "time"]) -> Sp.t -> solution option
 (** Decisions + global polish on the one-task-per-processor mapping of
     [Sp.to_dag].  Falls back to the empty subset if the decided subset
-    does not fit. *)
+    does not fit.
+
+    @raise Invalid_argument if the mapping does not match the series-parallel tree shape. *)

@@ -37,7 +37,10 @@ val solve_subset :
   Mapping.t ->
   subset:bool array ->
   solution option
-(** The fixed-subset LP described above.  [None] if infeasible. *)
+(** The fixed-subset LP described above.  [None] if infeasible.
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)
 
 val solve_exact :
   ?max_n:int ->
@@ -60,7 +63,10 @@ val solve_heuristic :
     {!Heuristics.best_of} under the continuous model spanning the
     level range, keep its re-execution subset, and re-optimise the
     speed mixes with the LP.  Falls back to the empty subset when the
-    continuous heuristic fails. *)
+    continuous heuristic fails.
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)
 
 val refine_splits :
   ?rounds:int ->
@@ -83,4 +89,7 @@ val refine_splits :
     splits are unchanged, so accepting a probe costs no extra LP solve
     and repeated sweeps replay cached trajectories ([use_cache = false]
     restores the uncached seed behaviour — same results, strictly more
-    [lp_solves]; it exists for A/B measurement). *)
+    [lp_solves]; it exists for A/B measurement).
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument if an argument violates a documented precondition. *)

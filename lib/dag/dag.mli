@@ -14,7 +14,9 @@ val make : ?labels:string array -> weights:float array -> edges:(task * task) li
 (** [make ~weights ~edges] builds a DAG with [Array.length weights]
     tasks.  Weights must be strictly positive.  Duplicate edges are
     collapsed; self-loops or cycles raise [Invalid_argument].
-    [labels] (default ["T<i>"]) are used by exports only. *)
+    [labels] (default ["T<i>"]) are used by exports only.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val n : t -> int
 (** Number of tasks. *)
@@ -46,7 +48,9 @@ val sinks : t -> task list
 
 val topological_order : t -> task array
 (** A topological order (Kahn's algorithm, smallest-id-first, so the
-    order is deterministic). *)
+    order is deterministic).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val total_weight : t -> float
 (** [Σ wᵢ]. *)
@@ -59,22 +63,32 @@ val map_weights : t -> (task -> float -> float) -> t
 val critical_path_length : t -> durations:float array -> float
 (** Longest path through the DAG where task [i] contributes
     [durations.(i)]; the makespan lower bound on unbounded
-    processors. *)
+    processors.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val earliest_start : t -> durations:float array -> float array
-(** Earliest start time of every task under unlimited processors. *)
+(** Earliest start time of every task under unlimited processors.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val latest_start : t -> durations:float array -> deadline:float -> float array
 (** Latest start times meeting [deadline]; may be negative when the
-    deadline is infeasible even with unlimited processors. *)
+    deadline is infeasible even with unlimited processors.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val slack : t -> durations:float array -> deadline:float -> float array
 (** Per-task float: [latest_start − earliest_start].  Tasks with zero
     slack are critical.  The parallel-oriented TRI-CRIT heuristic
-    allocates re-executions by decreasing slack. *)
+    allocates re-executions by decreasing slack.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val transitive_reduction : t -> t
-(** Remove every edge implied by a longer path.  Weights preserved. *)
+(** Remove every edge implied by a longer path.  Weights preserved.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val ancestors : t -> task -> task list
 (** All transitive predecessors, ascending. *)
@@ -82,7 +96,9 @@ val ancestors : t -> task -> task list
 val descendants : t -> task -> task list
 
 val reverse : t -> t
-(** Flip every edge (used to derive join results from fork results). *)
+(** Flip every edge (used to derive join results from fork results).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val pp : Format.formatter -> t -> unit
 (** Debugging output: one line per task with successors. *)

@@ -4,4 +4,6 @@ val of_dag : ?name:string -> Dag.t -> string
 (** DOT source for the DAG; node labels show task name and weight. *)
 
 val to_file : ?name:string -> Dag.t -> path:string -> unit
-(** Write {!of_dag} output to [path]. *)
+(** Write {!of_dag} output to [path].
+
+    @raise Sys_error if [path] cannot be opened for writing. *)

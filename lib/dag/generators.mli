@@ -12,17 +12,25 @@
 type r = Es_util.Rng.t
 
 val chain : r -> n:int -> wlo:float -> whi:float -> Dag.t
-(** Linear chain of [n] tasks, weights uniform in [\[wlo, whi)]. *)
+(** Linear chain of [n] tasks, weights uniform in [\[wlo, whi)].
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val fork : r -> n:int -> wlo:float -> whi:float -> Dag.t
 (** Source task plus [n] parallel children ([n+1] tasks; task 0 is the
-    source, matching the paper's fork theorem). *)
+    source, matching the paper's fork theorem).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val join : r -> n:int -> wlo:float -> whi:float -> Dag.t
-(** [n] parallel tasks followed by a sink (task [n]). *)
+(** [n] parallel tasks followed by a sink (task [n]).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val fork_join : r -> n:int -> wlo:float -> whi:float -> Dag.t
-(** Source, [n] parallel children, sink. *)
+(** Source, [n] parallel children, sink.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val random_sp : r -> n:int -> wlo:float -> whi:float -> Sp.t
 (** Random series-parallel tree with [n] leaves obtained by recursive
@@ -32,43 +40,61 @@ val random_layered : r -> layers:int -> width:int -> density:float -> wlo:float 
 (** Layered DAG: [layers] levels of [1..width] tasks; each consecutive
     pair of layers is connected with probability [density] per pair
     (at least one incoming edge per non-first-layer task, so the graph
-    is connected level to level). *)
+    is connected level to level).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val random_dag : r -> n:int -> p:float -> wlo:float -> whi:float -> Dag.t
 (** Erdős–Rényi style: each pair [(i, j)], [i < j], is an edge with
-    probability [p]. *)
+    probability [p].
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val out_tree : r -> n:int -> max_children:int -> wlo:float -> whi:float -> Dag.t
 (** Random rooted out-tree (each task's parent drawn among earlier
-    tasks, capped arity). *)
+    tasks, capped arity).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val in_tree : r -> n:int -> max_children:int -> wlo:float -> whi:float -> Dag.t
-(** Reverse of {!out_tree}: a reduction tree. *)
+(** Reverse of {!out_tree}: a reduction tree.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val lu : n:int -> Dag.t
 (** Task graph of right-looking LU factorisation on an [n × n] tile
     grid: per step [k] a pivot task, [n−k−1] panel updates in each
     dimension and [(n−k−1)²] trailing updates.  Weights follow tile
     operation counts (pivot 1/3, panel 1/2, update 1 — in arbitrary
-    flop units). *)
+    flop units).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val fft : levels:int -> Dag.t
 (** Butterfly task graph of a radix-2 FFT with [2^levels] lanes and
-    [levels] stages; unit weights. *)
+    [levels] stages; unit weights.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val stencil : rows:int -> cols:int -> Dag.t
 (** Wavefront dependency grid (Gauss–Seidel sweep): task [(i,j)]
-    depends on [(i−1,j)] and [(i,j−1)]; unit weights. *)
+    depends on [(i−1,j)] and [(i,j−1)]; unit weights.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val cholesky : n:int -> Dag.t
 (** Task graph of tiled Cholesky factorisation on an [n × n] tile grid:
     per step [k] one factorisation task (POTRF, weight 1/3), [n−k−1]
     triangular solves (TRSM, weight 1), and updates of the trailing
     lower triangle (SYRK on diagonals, weight 1/2; GEMM elsewhere,
-    weight 1). *)
+    weight 1).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val pipeline : r -> stages:int -> width:int -> wlo:float -> whi:float -> Dag.t
 (** A chain of fork-joins ("clusters of multi-cores" motif, Section V
     of the paper): [stages] consecutive stages, each a source task
     fanning out to [width] parallel tasks joined by a sink that feeds
-    the next stage's source. *)
+    the next stage's source.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)

@@ -19,22 +19,33 @@ type t =
 
 val leaf : float -> t
 val series : t list -> t
-(** Right fold of [Series]; requires a non-empty list. *)
+(** Right fold of [Series]; requires a non-empty list.
+
+    @raise Invalid_argument on an empty series or parallel composition. *)
 
 val parallel : t list -> t
-(** Right fold of [Parallel]; requires a non-empty list. *)
+(** Right fold of [Parallel]; requires a non-empty list.
+
+    @raise Invalid_argument on an empty series or parallel composition. *)
 
 val chain : float array -> t
-(** [chain ws] is the linear chain [w₀ ; w₁ ; …]. *)
+(** [chain ws] is the linear chain [w₀ ; w₁ ; …].
+
+    @raise Invalid_argument on an empty series or parallel composition. *)
 
 val fork : root:float -> float array -> t
 (** [fork ~root ws] is the fork graph of the paper's theorem: source
-    [root] followed by the parallel children [ws]. *)
+    [root] followed by the parallel children [ws].
+
+    @raise Invalid_argument on an empty series or parallel composition. *)
 
 val join : float array -> sink:float -> t
-(** Parallel children followed by a sink. *)
+(** Parallel children followed by a sink.
+
+    @raise Invalid_argument on an empty series or parallel composition. *)
 
 val fork_join : root:float -> float array -> sink:float -> t
+(** @raise Invalid_argument on an empty series or parallel composition. *)
 
 val n_tasks : t -> int
 val total_weight : t -> float
@@ -43,13 +54,17 @@ val weights : t -> float array
 (** Leaf weights in left-to-right order — the task ids of {!to_dag}. *)
 
 val to_dag : t -> Dag.t
-(** Expand to a plain DAG.  Task ids follow left-to-right leaf order. *)
+(** Expand to a plain DAG.  Task ids follow left-to-right leaf order.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val of_dag : Dag.t -> t option
 (** Best-effort SP recognition: weakly-connected components become
     parallel branches; a topological prefix whose outgoing cross edges
     form a complete bipartite graph [sinks(prefix) × sources(rest)]
     becomes a series cut.  Recognises every graph produced by
-    {!to_dag}; returns [None] for non-SP DAGs. *)
+    {!to_dag}; returns [None] for non-SP DAGs.
+
+    @raise Invalid_argument on an empty series or parallel composition. *)
 
 val pp : Format.formatter -> t -> unit

@@ -49,7 +49,9 @@ val lu : t -> t * int array
     the permutation.  @raise Singular on zero pivot. *)
 
 val lu_solve : t * int array -> Vec.t -> Vec.t
-(** Solve using factors from {!lu}. *)
+(** Solve using factors from {!lu}.
+
+    @raise Singular if the linear system is numerically singular. *)
 
 val solve : t -> Vec.t -> Vec.t
 (** One-shot [a x = b] through {!lu}.  @raise Singular. *)
@@ -58,4 +60,6 @@ val solve_spd : t -> Vec.t -> Vec.t
 (** One-shot solve for symmetric positive-definite [a] through
     {!cholesky}, falling back to {!solve} if the Cholesky pivot check
     fails (which can happen near the boundary of feasibility in the
-    barrier method). *)
+    barrier method).
+
+    @raise Singular if the linear system is numerically singular. *)

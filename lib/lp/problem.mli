@@ -43,7 +43,9 @@ type solution
 type outcome = Solution of solution | Infeasible | Unbounded
 
 val solve : ?max_iters:int -> t -> outcome
-(** Minimise the objective.  See {!Simplex.solve} for [max_iters]. *)
+(** Minimise the objective.  See {!Simplex.solve} for [max_iters].
+
+    @raise Failure if the simplex iteration limit is exceeded. *)
 
 val objective : solution -> float
 val value : solution -> var -> float

@@ -37,4 +37,6 @@ val solve : ?max_iters:int -> obj:float array -> constr list -> outcome
 (** [solve ~obj constraints] minimises [obj · x].  All structural
     variables are implicitly non-negative.  [max_iters] bounds the
     total pivot count (default [200_000]); exceeding it raises
-    [Failure]. *)
+    [Failure].
+
+    @raise Failure if the simplex iteration limit is exceeded. *)

@@ -16,7 +16,9 @@ val bisect :
 val root_monotone :
   ?tol:float -> f:(float -> float) -> lo:float -> hi:float -> float
 (** Root of a monotone (either direction) function on [\[lo, hi\]],
-    clamping to the nearest endpoint when the root lies outside. *)
+    clamping to the nearest endpoint when the root lies outside.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val golden_min :
   ?tol:float -> ?max_iters:int -> f:(float -> float) -> lo:float -> hi:float -> float

@@ -36,7 +36,9 @@ val discrete : (float[@units "freq"]) array -> t
     non-positive speeds. *)
 
 val vdd_hopping : (float[@units "freq"]) array -> t
-(** Same validation as {!discrete}. *)
+(** Same validation as {!discrete}.
+
+    @raise Invalid_argument on an empty speed set. *)
 
 val incremental :
   fmin:(float[@units "freq"]) ->

@@ -30,7 +30,9 @@ type params = {
 val default : params
 (** λ₀ = 10⁻⁵, d = 3, fmin = 1/3·fmax with fmax = 1, f_rel = fmax —
     magnitudes used throughout the DVFS-reliability literature the
-    paper builds on (Zhu et al.). *)
+    paper builds on (Zhu et al.).
+
+    @raise Invalid_argument unless [0 < fmin <= fmax]. *)
 
 val make :
   ?lambda0:float -> ?sensitivity:float -> ?frel:float -> fmin:float -> fmax:float ->
@@ -71,7 +73,9 @@ val min_reexec_speed : params -> w:float -> float option
     [ε(f_rel) ≥ ε(fmax)²] would be violated only for huge [λ₀·w].
     Equal speeds are optimal for a re-executed task under a total-time
     budget (by convexity of [f ↦ w·f²] along [1/f]-budgets), so this
-    is the relevant lower bound. *)
+    is the relevant lower bound.
+
+    @raise Invalid_argument if a root-bracketing step finds no sign change (degenerate reliability or speed bounds). *)
 
 val vdd_failure : params -> parts:(float * float) list -> float
 (** Failure probability of a VDD-HOPPING execution given [parts], a

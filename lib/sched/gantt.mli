@@ -5,6 +5,9 @@ val render : ?width:int -> ?deadline:float -> Schedule.t -> string
 (** One row per processor; each task paints its worst-case execution
     interval (both attempts for re-executed tasks, the second marked
     with ['*']).  [width] is the chart width in characters (default
-    72); [deadline] adds a marker column. *)
+    72); [deadline] adds a marker column.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val print : ?width:int -> ?deadline:float -> Schedule.t -> unit
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)

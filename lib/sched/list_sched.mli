@@ -19,21 +19,29 @@ type priority =
   | Max_out_degree  (** most successors first *)
 
 val bottom_levels : Dag.t -> float array
-(** Longest weight-path from each task to a sink (inclusive). *)
+(** Longest weight-path from each task to a sink (inclusive).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val top_levels : Dag.t -> float array
-(** Longest weight-path from a source to each task (exclusive). *)
+(** Longest weight-path from a source to each task (exclusive).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val schedule : Dag.t -> p:int -> priority:priority -> Mapping.t
 (** Greedy list scheduling: repeatedly start the highest-priority ready
     task on the processor that frees up first.  Ties break on smaller
-    task id, so the result is deterministic. *)
+    task id, so the result is deterministic.
+
+    @raise Invalid_argument on an inconsistent processor count or order permutation. *)
 
 val makespan_at_speed : Mapping.t -> f:float -> float
 (** Makespan when every task runs once at speed [f] — the reference
     deadline scale: [D_min = makespan_at_speed m ~f:fmax] is the
     tightest deadline any speed assignment can meet, and experiments
-    sweep [D = slack · D_min]. *)
+    sweep [D = slack · D_min].
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val priority_name : priority -> string
 val all_priorities : priority list

@@ -23,11 +23,15 @@ val make : p:int -> Dag.t -> order:Dag.task list array -> t
 val single_processor : Dag.t -> t
 (** All tasks on one processor, in (deterministic) topological order —
     the linear-chain setting of the paper's TRI-CRIT NP-hardness
-    proof. *)
+    proof.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val one_task_per_proc : Dag.t -> t
 (** Task [i] on processor [i] — the fully parallel mapping assumed by
-    the fork/SP closed-form theorems. *)
+    the fork/SP closed-form theorems.
+
+    @raise Invalid_argument on an inconsistent processor count or order permutation. *)
 
 val p : t -> int
 val dag : t -> Dag.t

@@ -25,10 +25,14 @@ val make : Mapping.t -> executions:execution list array -> t
     do not add up to the task's weight (within 1e-6 relative). *)
 
 val uniform : Mapping.t -> speed:float -> t
-(** Every task executed once at [speed]. *)
+(** Every task executed once at [speed].
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val of_speeds : Mapping.t -> speeds:float array -> t
-(** Task [i] executed once at [speeds.(i)]. *)
+(** Task [i] executed once at [speeds.(i)].
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val mapping : t -> Mapping.t
 val dag : t -> Dag.t
@@ -57,13 +61,19 @@ val task_energy : t -> Dag.task -> float
 
 val makespan : t -> float
 (** Worst-case makespan: longest path of the mapping's constraint DAG
-    under {!durations}. *)
+    under {!durations}.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val start_times : t -> float array
 (** Earliest start of each task's (first) execution in the worst-case
-    schedule. *)
+    schedule.
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val with_execs : t -> Dag.task -> execution list -> t
-(** Functional update of one task's executions. *)
+(** Functional update of one task's executions.
+
+    @raise Invalid_argument on a schedule whose executions disagree with the mapping (length mismatch or empty execution list). *)
 
 val pp : Format.formatter -> t -> unit

@@ -22,7 +22,9 @@ val check :
   Schedule.t ->
   violation list
 (** Empty list = feasible.  The makespan is the worst-case one (all
-    re-executions count). *)
+    re-executions count).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val is_feasible :
   ?deadline:float ->
@@ -30,6 +32,7 @@ val is_feasible :
   model:Speed.t ->
   Schedule.t ->
   bool
+(** @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val explain : Dag.t -> violation -> string
 (** Human-readable rendering for error reports. *)

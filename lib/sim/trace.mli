@@ -25,7 +25,9 @@ val run : Es_util.Rng.t -> rel:Rel.params -> Schedule.t -> t
 (** Simulate one execution and record every attempt.  Start times are
     the earliest-start times of the realised durations on the
     mapping's constraint DAG (attempt 2 runs immediately after a failed
-    attempt 1). *)
+    attempt 1).
+
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
 val render : ?width:int -> Schedule.t -> t -> string
 (** ASCII chart of the realised run: one row per processor; attempts

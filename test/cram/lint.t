@@ -15,6 +15,11 @@ The rule catalogue is discoverable from the CLI.
   P002  parallel region reaches an ambient-nondeterminism source (Random.*, Sys.time, Unix.gettimeofday, Domain.self, Gc stats, hash-ordered Hashtbl iteration over a captured table); output would depend on scheduling — derive per-task streams with Rng.split / map_seeded
   P003  parallel region reaches a blocking operation (Mutex.lock/protect on a captured lock, Condition.wait, Unix.sleep*, raw Pool.submit re-entry); workers stall or deadlock — keep worker code non-blocking
   P004  Domain.* / Domain.DLS use outside the sanctioned owners lib/par and lib/obs; route domain management through Es_par.Pool so the pool owns every worker domain
+  X001  exported lib/ value may raise but its .mli doc comment has no @raise tag; document the contract or narrow the exceptions with try/with
+  X002  callback handed to a parallel region may raise an exception other than the sanctioned Task_error wrapping; a raise inside a worker strands the joiner — make the task total or pre-validate its inputs
+  R001  resource acquired but never released in this binding (open_in/open_out or Unix.openfile without close, Pool.create without shutdown, Mutex.lock without unlock); release it or use the with_/protect form
+  R002  code between a resource acquire and its unprotected release may raise, leaking the resource on the exceptional path; wrap the body in Fun.protect ~finally (or Mutex.protect for locks)
+  R003  Obs.enable without a balanced Obs.disable on every path (missing or unprotected while the code between may raise); put the disable in a Fun.protect ~finally
 
 Every rule fires on its fixture, with exact file:line:col diagnostics
 and a non-zero exit code.
@@ -197,9 +202,14 @@ A checked-in allowlist exempts a path/P-rule pair like any other rule.
   $ eslint --rules P004 --allow-file par.allow ../fixtures/lint/p004
 
 --par=false switches the whole P family off without touching the
-other rules.
+other rules — the exception-flow pass still sees the same raising
+lock-holding region and reports it from its own angle.
 
   $ eslint --par=false ../fixtures/lint/p003/block.ml
+  ../fixtures/lint/p003/block.ml:9:4 [X002] callback passed to Par.parallel_map may raise (an unknown external is reached in call position) beyond the sanctioned Task_error wrapping — a raise inside a worker surfaces at the joiner and abandons the batch; witness: Unix.sleepf@../fixtures/lint/p003/block.ml:11; make the task total (or use Par.try_map and handle the error value)
+  ../fixtures/lint/p003/block.ml:10:6 [R002] code between Mutex.lock 'lock' and its unprotected unlock may raise (an unknown external is reached in call position); witness: Unix.sleepf@../fixtures/lint/p003/block.ml:11; use Mutex.protect so the unlock runs on the raising path
+  eslint: 2 finding(s)
+  [1]
 
 Naming a file both directly and through its directory reports each
 finding exactly once.
@@ -294,6 +304,115 @@ scanning shows the full region -> callee -> write chain.
         "results": [
           {"ruleId": "P001", "level": "error", "message": {"text": "parallel region (Par.parallel_map) writes captured mutable state without Atomic/Mutex protection: 'incr' on captured ref 'total'; witness: region@../fixtures/lint/p001/worker.ml:9 -> incr total@../fixtures/lint/p001/worker.ml:12"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "../fixtures/lint/p001/worker.ml"}, "region": {"startLine": 9, "startColumn": 3}}}]},
           {"ruleId": "P001", "level": "error", "message": {"text": "parallel region (Par.parallel_map) writes captured mutable state without Atomic/Mutex protection: Hashtbl.replace on captured container 'hits'; witness: region@../fixtures/lint/p001/worker.ml:9 -> Counter.memo@../fixtures/lint/p001/worker.ml:11 -> Hashtbl.replace hits@../fixtures/lint/p001/counter.ml:7"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "../fixtures/lint/p001/worker.ml"}, "region": {"startLine": 9, "startColumn": 3}}}]}
+        ]
+      }
+    ]
+  }
+  [1]
+
+The exception-flow pass.  X001 anchors an undocumented raising export
+at its .mli declaration and reconstructs the shortest call chain down
+to the terminal raise site — here the chain crosses a module boundary
+twice.  The documented twin [read_checked] and the pure [zero] stay
+silent.
+
+  $ eslint --only X001 ../fixtures/lint/x001
+  ../fixtures/lint/x001/lib/meter.mli:5:0 [X001] exported value 'read' may raise Invalid_argument but its doc comment has no @raise tag; witness: Meter.read@../fixtures/lint/x001/lib/meter.mli:5 -> Probe.sample@../fixtures/lint/x001/lib/meter.ml:5 -> Invalid_argument@../fixtures/lint/x001/lib/probe.ml:6; document the contract (@raise Invalid_argument ...) or narrow the exceptions in the implementation
+  eslint: 1 finding(s)
+  [1]
+
+X002 flags raising callbacks handed to a parallel region, in both
+shapes: a lambda whose body reaches the raising Model.rate, and the
+raising node passed as a bare identifier.
+
+  $ eslint --only X002 ../fixtures/lint/x002
+  ../fixtures/lint/x002/sweep.ml:8:32 [X002] callback passed to Par.parallel_map may raise Invalid_argument beyond the sanctioned Task_error wrapping — a raise inside a worker surfaces at the joiner and abandons the batch; witness: Model.rate@../fixtures/lint/x002/sweep.ml:8 -> Invalid_argument@../fixtures/lint/x002/model.ml:6; make the task total (or use Par.try_map and handle the error value)
+  ../fixtures/lint/x002/sweep.ml:10:54 [X002] callback Model.rate passed to Par.parallel_map may raise Invalid_argument beyond the sanctioned Task_error wrapping — a raise inside a worker surfaces at the joiner and abandons the batch; witness: Model.rate@../fixtures/lint/x002/sweep.ml:10 -> Invalid_argument@../fixtures/lint/x002/model.ml:6; make the task total (or use Par.try_map and handle the error value)
+  eslint: 2 finding(s)
+  [1]
+
+The resource-lifecycle pass.  R001 is the unconditional leak: a handle
+acquired and never released in its binding, on any path.
+
+  $ eslint --only R001 ../fixtures/lint/r001
+  ../fixtures/lint/r001/log.ml:6:2 [R001] output channel 'oc' acquired here is never released in this binding; release it on every path with Fun.protect ~finally:close_out (or justify ownership transfer with [@lint.allow "R001"])
+  ../fixtures/lint/r001/log.ml:10:2 [R001] worker pool 'pool' acquired here is never released in this binding; release it on every path with Pool.with_pool (or justify ownership transfer with [@lint.allow "R001"])
+  eslint: 2 finding(s)
+  [1]
+
+R002 is the exceptional-path leak: the release exists but is
+unprotected, and the code between acquire and release may raise — the
+witness names the raising encoder one module away.  The Fun.protect
+twin [save_protected] stays silent.
+
+  $ eslint --only R002 ../fixtures/lint/r002
+  ../fixtures/lint/r002/writer.ml:7:2 [R002] output channel 'oc' is released, but the code between acquire and release may raise Invalid_argument, Sys_error and the release is not protected — the exceptional path leaks it; witness: Enc.render@../fixtures/lint/r002/writer.ml:8 -> Invalid_argument@../fixtures/lint/r002/enc.ml:5; wrap the body in Fun.protect ~finally:close_out
+  eslint: 1 finding(s)
+  [1]
+
+R003 guards the telemetry toggle protocol: a bare disable after a
+raising step, and a missing disable.  The Fun.protect twin stays
+silent.
+
+  $ eslint --only R003 ../fixtures/lint/r003
+  ../fixtures/lint/r003/trace.ml:11:2 [R003] code between Obs.enable and its unprotected Obs.disable may raise Failure; witness: Trace.checkpoint@../fixtures/lint/r003/trace.ml:12 -> Failure@../fixtures/lint/r003/trace.ml:7; move the disable into a Fun.protect ~finally so the raising path restores the toggle
+  ../fixtures/lint/r003/trace.ml:17:2 [R003] Obs.enable is never balanced by Obs.disable in the rest of this statement sequence; the telemetry toggle leaks across the next caller — put the disable in a Fun.protect ~finally
+  eslint: 2 finding(s)
+  [1]
+
+--effects=false switches the whole X/R family off without touching
+the other rules; --only/--skip filter by rule id on top of the family
+switches, and reject unknown ids like any other rule list.
+
+  $ eslint --effects=false ../fixtures/lint/r003/trace.ml
+
+  $ eslint --skip R003 ../fixtures/lint/r003/trace.ml
+
+  $ eslint --only R001,R002 ../fixtures/lint/r002
+  ../fixtures/lint/r002/writer.ml:7:2 [R002] output channel 'oc' is released, but the code between acquire and release may raise Invalid_argument, Sys_error and the release is not protected — the exceptional path leaks it; witness: Enc.render@../fixtures/lint/r002/writer.ml:8 -> Invalid_argument@../fixtures/lint/r002/enc.ml:5; wrap the body in Fun.protect ~finally:close_out
+  eslint: 1 finding(s)
+  [1]
+
+  $ eslint --skip X999 ../fixtures/lint/clean.ml
+  eslint: unknown rule id "X999"
+  [2]
+
+  $ eslint --rules X001 --only X001 ../fixtures/lint/x001
+  eslint: --rules and --only are aliases; give only one
+  [2]
+
+  $ eslint --only X002 --skip X002 ../fixtures/lint/x002
+  eslint: empty rule list (--units/--par/--effects=false or --skip removed every rule)
+  [2]
+
+--stats reports the shared-callgraph build and the effects fixpoint
+on stderr (timings normalised here).
+
+  $ eslint --only R003 --stats ../fixtures/lint/r003/trace.ml 2>&1 >/dev/null | sed 's/total=.*/total=<t>/'
+  eslint: 2 finding(s)
+  eslint: stats: eslint.callgraph.build count=1 total=<t>
+  eslint: stats: eslint.effects.infer count=1 total=<t>
+
+An R002 witness trace survives into the SARIF report verbatim, like
+the P001 one.
+
+  $ eslint --format sarif --only R002 ../fixtures/lint/r002
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",
+    "runs": [
+      {
+        "tool": {
+          "driver": {
+            "name": "eslint",
+            "informationUri": "DESIGN.md",
+            "rules": [
+            {"id": "R002", "shortDescription": {"text": "code between a resource acquire and its unprotected release may raise, leaking the resource on the exceptional path; wrap the body in Fun.protect ~finally (or Mutex.protect for locks)"}}
+            ]
+          }
+        },
+        "results": [
+          {"ruleId": "R002", "level": "error", "message": {"text": "output channel 'oc' is released, but the code between acquire and release may raise Invalid_argument, Sys_error and the release is not protected — the exceptional path leaks it; witness: Enc.render@../fixtures/lint/r002/writer.ml:8 -> Invalid_argument@../fixtures/lint/r002/enc.ml:5; wrap the body in Fun.protect ~finally:close_out"}, "locations": [{"physicalLocation": {"artifactLocation": {"uri": "../fixtures/lint/r002/writer.ml"}, "region": {"startLine": 7, "startColumn": 3}}}]}
         ]
       }
     ]

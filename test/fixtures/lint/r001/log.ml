@@ -1,0 +1,11 @@
+(* R001 fixture: two handles acquired and never released in their
+   binding — an output channel and a worker pool.  Every path leaks
+   them, not just the exceptional one. *)
+
+let dump path xs =
+  let oc = open_out path in
+  List.iter (fun x -> output_string oc (string_of_float x ^ "\n")) xs
+
+let fan_out n f xs =
+  let pool = Es_par.Pool.create ~domains:n () in
+  Es_par.Par.parallel_map ~pool f xs

@@ -1,0 +1,6 @@
+(* R002 fixture, callee side: the raising encoder between acquire and
+   release in writer.ml.  The witness chain crosses into this file. *)
+
+let render x =
+  if Float.is_nan x then invalid_arg "Enc.render: not a number";
+  string_of_float x

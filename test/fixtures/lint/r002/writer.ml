@@ -1,0 +1,15 @@
+(* R002 fixture, acquire side: the channel IS closed, but the encode
+   loop between open_out and close_out may raise (Enc.render), and the
+   close is not in a Fun.protect ~finally — the exceptional path leaks
+   the handle.  [save_protected] is the fixed twin and stays silent. *)
+
+let save path xs =
+  let oc = open_out path in
+  List.iter (fun x -> output_string oc (Enc.render x ^ "\n")) xs;
+  close_out oc
+
+let save_protected path xs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun x -> output_string oc (Enc.render x ^ "\n")) xs)

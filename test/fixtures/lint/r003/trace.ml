@@ -1,0 +1,24 @@
+(* R003 fixture: the telemetry toggle protocol.  [run] brackets a
+   raising step with enable/disable but the disable is bare — the
+   raising path leaves telemetry on for the next caller.  [run_forever]
+   never disables at all.  [run_protected] is the fixed twin. *)
+
+let checkpoint n =
+  if n = 0 then failwith "Trace.checkpoint: empty window";
+  n - 1
+
+let run n =
+  Es_obs.Obs.enable ();
+  let r = checkpoint n in
+  Es_obs.Obs.disable ();
+  r
+
+let run_forever n =
+  Es_obs.Obs.enable ();
+  checkpoint n
+
+let run_protected n =
+  Es_obs.Obs.enable ();
+  Fun.protect
+    ~finally:(fun () -> Es_obs.Obs.disable ())
+    (fun () -> checkpoint n)

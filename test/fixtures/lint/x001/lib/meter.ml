@@ -1,0 +1,7 @@
+(* X001 fixture, implementation side: [read] propagates Probe.sample's
+   Invalid_argument; [read_checked] does too but its interface
+   documents the contract; [zero] is pure. *)
+
+let read ~ticks = Probe.sample ticks
+let read_checked ~ticks = Probe.sample ticks
+let zero = 0.

@@ -1,0 +1,13 @@
+(* X001 fixture, interface side: [read] may raise but carries no
+   @raise tag (the finding); [read_checked] documents the same
+   contract and stays silent; [zero] is pure and needs nothing. *)
+
+val read : ticks:int -> float
+(** Average load over [ticks]. *)
+
+val read_checked : ticks:int -> float
+(** Average load over [ticks].
+
+    @raise Invalid_argument unless [ticks > 0]. *)
+
+val zero : float

@@ -1,0 +1,7 @@
+(* X001 fixture, callee side: the terminal raise site.  Meter.read
+   reaches [sample] one module away, so the witness chain in the
+   diagnostic has a cross-module hop. *)
+
+let sample ticks =
+  if ticks <= 0 then invalid_arg "Probe.sample: ticks must be positive";
+  float_of_int ticks *. 0.5

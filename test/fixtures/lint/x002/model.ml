@@ -1,0 +1,7 @@
+(* X002 fixture, callee side: the raising task body.  No parallel
+   region here — this file alone is silent; the finding only exists
+   once sweep.ml maps [rate] over a pool. *)
+
+let rate x =
+  if x < 0. then invalid_arg "Model.rate: negative input";
+  x *. 2.

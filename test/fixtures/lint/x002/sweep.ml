@@ -1,0 +1,10 @@
+(* X002 fixture, region side: both callback shapes.  The lambda's body
+   calls the raising Model.rate (evidence found inside the
+   expression); the bare identifier is a raising node of the graph
+   (witness chain via its summary).  Either way a worker raise
+   surfaces at the joiner and abandons the batch. *)
+
+let run_lambda pool xs =
+  Es_par.Par.parallel_map ~pool (fun x -> Model.rate x +. 1.) xs
+
+let run_ident pool xs = Es_par.Par.parallel_map ~pool Model.rate xs

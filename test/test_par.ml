@@ -91,7 +91,10 @@ let test_empty_input () =
       Alcotest.(check int)
         "try_map []" 0
         (List.length (Par.try_map ~pool ~timeout:0.01 busy []));
-      Par.parallel_iteri ~pool (fun _ _ -> Alcotest.fail "no items to visit") [];
+      (* X002 allowed: raising inside the worker is the point — the
+         callback must never run on an empty input *)
+      (Par.parallel_iteri ~pool (fun _ _ -> Alcotest.fail "no items to visit") []
+      [@lint.allow "X002"]);
       Alcotest.(check int)
         "map_reduce [] keeps init" 42
         (Par.map_reduce ~pool ~map:busy ~reduce:( + ) 42 []))
@@ -129,14 +132,16 @@ let test_nested_map_runs_inline () =
       let result =
         (* chunk:1 pins every outer item to a pool task (the default
            probe would run the first items inline, outside a worker) *)
-        Par.parallel_map ~pool ~chunk:1
-          (fun i ->
-            (* inside a worker: must fall back to inline execution
-               rather than deadlock on the queue we are draining *)
-            Alcotest.(check bool) "in worker" true (Pool.in_worker ());
-            let inner = List.init 5 (fun j -> (i * 10) + j) in
-            List.fold_left ( + ) 0 (Par.parallel_map ~pool busy inner))
-          outer
+        (* X002 allowed: the in-worker assertion raising IS the test *)
+        (Par.parallel_map ~pool ~chunk:1
+           (fun i ->
+             (* inside a worker: must fall back to inline execution
+                rather than deadlock on the queue we are draining *)
+             Alcotest.(check bool) "in worker" true (Pool.in_worker ());
+             let inner = List.init 5 (fun j -> (i * 10) + j) in
+             List.fold_left ( + ) 0 (Par.parallel_map ~pool busy inner))
+           outer
+        [@lint.allow "X002"])
       in
       let expected =
         List.map
