@@ -1,0 +1,39 @@
+module Pool = Es_par.Pool
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+let best_wall ~reps f =
+  let t0, v0 = wall f in
+  let rec go best k =
+    if k <= 0 then best
+    else
+      let t, _ = wall f in
+      go (Float.min best t) (k - 1)
+  in
+  (go t0 (reps - 1), v0)
+
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
+let out_path ~default argv =
+  let rec go = function
+    | [ "--out" ] ->
+      prerr_endline "bench: --out requires a path";
+      exit 2
+    | "--out" :: path :: _ -> path
+    | _ :: rest -> go rest
+    | [] -> default
+  in
+  go argv
+
+let write_json ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Es_obs.Obs_json.to_string json);
+      output_char oc '\n')

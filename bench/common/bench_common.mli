@@ -1,0 +1,26 @@
+(** Scaffolding shared by the bench executables: wall-clock timing,
+    best-of-N repetition, the [--out] argv convention and the
+    write-JSON-then-newline output step (always under [Fun.protect] so
+    the channel closes on the error path too). *)
+
+val wall : (unit -> 'a) -> (float[@units "time"]) * 'a
+(** Wall-clock seconds spent in the thunk, plus its result. *)
+
+val best_wall : reps:int -> (unit -> 'a) -> (float[@units "time"]) * 'a
+(** Best (minimum) wall over [max 1 reps] runs — the least-noise
+    estimator for a deterministic workload on a shared machine — with
+    the first run's result. *)
+
+val with_jobs : int -> (Es_par.Pool.t option -> 'a) -> 'a
+(** Run the continuation with a fresh [jobs]-domain pool ([None] when
+    [jobs <= 1]); {!Es_par.Pool.with_pool} owns the shutdown on both
+    the normal and the exceptional path. *)
+
+val out_path : default:string -> string list -> string
+(** Extract [--out PATH] from an argv list; [default] when absent.
+    Prints a usage error and exits 2 on a dangling [--out]. *)
+
+val write_json : path:string -> Es_obs.Obs_json.t -> unit
+(** Write the value and a trailing newline to [path].
+
+    @raise Sys_error when the file cannot be opened or written. *)

@@ -258,25 +258,11 @@ let baseline_json () =
     ]
 
 let write_baseline path =
-  let json = baseline_json () in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Es_obs.Obs_json.to_string json);
-      output_char oc '\n');
+  Bench_common.write_json ~path (baseline_json ());
   Printf.printf "baseline: wrote %s (%d experiments)\n" path (List.length experiments)
 
 let () =
   let argv = Array.to_list Sys.argv in
   let json_only = List.mem "--json-only" argv in
-  let rec out_of = function
-    | [ "--out" ] ->
-      prerr_endline "bench: --out requires a path";
-      exit 2
-    | "--out" :: path :: _ -> path
-    | _ :: rest -> out_of rest
-    | [] -> "BENCH_PR1.json"
-  in
   if not json_only then print_table ();
-  write_baseline (out_of argv)
+  write_baseline (Bench_common.out_path ~default:"BENCH_PR1.json" argv)

@@ -93,26 +93,9 @@ let workloads : (string * (Pool.t option -> string)) list =
 (* timing                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (Unix.gettimeofday () -. t0, v)
-
-(* Best of [reps] runs: the minimum is the least-noise estimator for a
-   deterministic workload on a shared machine. *)
-let best_wall f =
-  let rec go best digest k =
-    if k = 0 then (best, digest)
-    else
-      let t, d = wall f in
-      go (Float.min best t) d (k - 1)
-  in
-  let t0, d0 = wall f in
-  go t0 d0 (reps - 1)
-
-let with_jobs jobs f =
-  if jobs <= 1 then f None
-  else Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+let wall = Bench_common.wall
+let best_wall f = Bench_common.best_wall ~reps f
+let with_jobs = Bench_common.with_jobs
 
 type point = {
   p_jobs : int;
@@ -229,15 +212,7 @@ let gate_failures results =
 let () =
   let argv = Array.to_list Sys.argv in
   let gate = List.mem "--gate" argv in
-  let rec out_of = function
-    | [ "--out" ] ->
-      prerr_endline "bench/par: --out requires a path";
-      exit 2
-    | "--out" :: path :: _ -> path
-    | _ :: rest -> out_of rest
-    | [] -> "BENCH_PR6.json"
-  in
-  let path = out_of argv in
+  let path = Bench_common.out_path ~default:"BENCH_PR6.json" argv in
   (* sizing query only — no domain is spawned here; the pool owns the workers *)
   let cores = (Domain.recommended_domain_count () [@lint.allow "P004"]) in
   let results = List.map (bench_workload ~cores) workloads in
@@ -295,12 +270,7 @@ let () =
             ] );
       ]
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string json);
-      output_char oc '\n');
+  Bench_common.write_json ~path json;
   Printf.printf "bench/par: wrote %s (%d workloads, %d cores)\n" path
     (List.length results) cores;
   List.iter

@@ -77,6 +77,40 @@ let to_string j =
   write buf j;
   Buffer.contents buf
 
+(* Single-line rendering for newline-delimited protocols: same escaping
+   and number formatting as [write], no whitespace at all. *)
+let rec write_compact buf j =
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x ->
+    if Float.is_nan x || Float.abs x = infinity then Buffer.add_string buf "null"
+    else Buffer.add_string buf (number_to_string x)
+  | Str s -> escape buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun k item ->
+        if k > 0 then Buffer.add_char buf ',';
+        write_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun k (name, v) ->
+        if k > 0 then Buffer.add_char buf ',';
+        escape buf name;
+        Buffer.add_char buf ':';
+        write_compact buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_compact_string j =
+  let buf = Buffer.create 128 in
+  write_compact buf j;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* parsing (recursive descent, enough for our own output)              *)
 (* ------------------------------------------------------------------ *)

@@ -14,6 +14,11 @@ type t =
 val to_string : t -> string
 (** Pretty-printed JSON text. *)
 
+val to_compact_string : t -> string
+(** Single-line JSON (no whitespace), for newline-delimited framing —
+    the serving wire protocol emits one compact value per line.  Same
+    escaping and number formatting as {!to_string}. *)
+
 exception Parse_error of string
 
 val of_string : string -> t

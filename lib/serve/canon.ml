@@ -1,0 +1,225 @@
+(* Canonical labeling by colour refinement (1-WL) over the task graph
+   and the processor chains, with individualization-refinement on tied
+   colour classes.  Every ingredient of a colour is itself canonical
+   (normalized weights, degrees, chain ranks, previously computed
+   colours), so the resulting labeling — and hence the key strings —
+   is invariant under any relabeling of tasks or processors. *)
+
+type t = {
+  perm : int array;
+  exact_key : string;
+  scaled_key : string option;
+  total_work : float;
+}
+
+let f17 x = Printf.sprintf "%.17g" x
+let f12 x = Printf.sprintf "%.12g" x
+
+exception Budget
+(* Raised when the refinement budget is exhausted; caught at the top of
+   [of_instance], which then falls back to the identity labeling. *)
+
+(* Dense ranks (0..k-1) of an array of sort keys.  Any total order
+   works for partition refinement; [String.compare] over strings built
+   from canonical components keeps the ranking label-independent. *)
+let rank_compress keys =
+  let n = Array.length keys in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> String.compare keys.(a) keys.(b)) idx;
+  let colors = Array.make n 0 in
+  let c = ref 0 in
+  Array.iteri
+    (fun k i ->
+      if k > 0 && String.compare keys.(idx.(k - 1)) keys.(i) <> 0 then incr c;
+      colors.(i) <- !c)
+    idx;
+  colors
+
+let n_classes colors = Array.fold_left (fun m x -> max m x) (-1) colors + 1
+
+let cmp_edge (a1, b1) (a2, b2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c else Int.compare b1 b2
+
+let of_instance ~order (inst : Protocol.instance) =
+  let n = Array.length inst.weights in
+  (* Sum in sorted order: float addition is not associative, so a
+     label-order sum would differ in the last bits between relabelings
+     of the same instance and split the exact key. *)
+  let total_work =
+    let w = Array.copy inst.weights in
+    Array.sort Float.compare w;
+    Array.fold_left ( +. ) 0. w
+  in
+  (* -- relations ---------------------------------------------------- *)
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      succs.(a) <- b :: succs.(a);
+      preds.(b) <- a :: preds.(b))
+    inst.edges;
+  for i = 0 to n - 1 do
+    succs.(i) <- List.sort_uniq Int.compare succs.(i);
+    preds.(i) <- List.sort_uniq Int.compare preds.(i)
+  done;
+  let pnext = Array.make n (-1) and pprev = Array.make n (-1) in
+  let chain_rank = Array.make n 0 in
+  Array.iter
+    (fun chain ->
+      let rec go pos prev = function
+        | [] -> ()
+        | a :: rest ->
+          chain_rank.(a) <- pos;
+          (match prev with
+          | Some p ->
+            pnext.(p) <- a;
+            pprev.(a) <- p
+          | None -> ());
+          go (pos + 1) (Some a) rest
+      in
+      go 0 None chain)
+    order;
+  (* -- encodings ---------------------------------------------------- *)
+  let encode_struct perm =
+    (* tasks listed by canonical position *)
+    let inv = Array.make n 0 in
+    Array.iteri (fun i c -> inv.(c) <- i) perm;
+    let w =
+      String.concat ","
+        (List.init n (fun c -> f12 (inst.weights.(inv.(c)) /. total_work)))
+    in
+    let e =
+      String.concat ","
+        (List.map
+           (fun (a, b) -> Printf.sprintf "%d>%d" a b)
+           (List.sort_uniq cmp_edge
+              (List.map (fun (a, b) -> (perm.(a), perm.(b))) inst.edges)))
+    in
+    (* processors are interchangeable: sort the relabeled chains *)
+    let chains =
+      List.sort String.compare
+        (List.map
+           (fun chain ->
+             String.concat "."
+               (List.map (fun t -> string_of_int perm.(t)) chain))
+           (Array.to_list order))
+    in
+    Printf.sprintf "n=%d;p=%d;w=%s;e=%s;c=%s" n (Array.length order) w e
+      (String.concat ";" chains)
+  in
+  let encode_w17 perm =
+    let inv = Array.make n 0 in
+    Array.iteri (fun i c -> inv.(c) <- i) perm;
+    String.concat "," (List.init n (fun c -> f17 inst.weights.(inv.(c))))
+  in
+  (* -- individualization-refinement search -------------------------- *)
+  let best = ref None in
+  let consider perm =
+    let s = encode_struct perm in
+    let better =
+      match !best with
+      | None -> true
+      | Some (s0, w0, _) ->
+        let c = String.compare s s0 in
+        c < 0 || (c = 0 && String.compare (encode_w17 perm) w0 < 0)
+    in
+    if better then best := Some (s, encode_w17 perm, perm)
+  in
+  (* -- colour refinement + individualization search ------------------ *)
+  (* [refine] and [search] live inside the [try] so the [Budget] raise
+     is syntactically within its own handler (the effects analysis
+     charges closure bodies at their definition point). *)
+  let budget = ref 1000 in
+  (try
+     let refine colors0 =
+       let colors = Array.copy colors0 in
+       let stable = ref false in
+       while not !stable do
+         decr budget;
+         if !budget < 0 then raise Budget;
+         let nbr l =
+           String.concat ","
+             (List.map string_of_int
+                (List.sort Int.compare (List.map (fun j -> colors.(j)) l)))
+         in
+         let sigs =
+           Array.init n (fun i ->
+               Printf.sprintf "%d|%s|%s|%d|%d" colors.(i) (nbr succs.(i))
+                 (nbr preds.(i))
+                 (if pnext.(i) >= 0 then colors.(pnext.(i)) else -1)
+                 (if pprev.(i) >= 0 then colors.(pprev.(i)) else -1))
+         in
+         let colors' = rank_compress sigs in
+         if n_classes colors' = n_classes colors then stable := true;
+         Array.blit colors' 0 colors 0 n
+       done;
+       colors
+     in
+     let rec search colors =
+       let colors = refine colors in
+       let k = n_classes colors in
+       if k = n then consider (Array.copy colors)
+       else begin
+         (* smallest non-singleton class, lowest colour on ties *)
+         let sizes = Array.make k 0 in
+         Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) colors;
+         let target = ref (-1) in
+         for c = k - 1 downto 0 do
+           if sizes.(c) >= 2 && (!target < 0 || sizes.(c) <= sizes.(!target))
+           then target := c
+         done;
+         for m = 0 to n - 1 do
+           if colors.(m) = !target then begin
+             (* split m off below the rest of its class *)
+             let c' = Array.map (fun x -> (2 * x) + 1) colors in
+             c'.(m) <- 2 * colors.(m);
+             search c'
+           end
+         done
+       end
+     in
+     let initial =
+       rank_compress
+         (Array.init n (fun i ->
+              Printf.sprintf "%s|%d|%d|%d"
+                (f12 (inst.weights.(i) /. total_work))
+                (List.length preds.(i))
+                (List.length succs.(i))
+                chain_rank.(i)))
+     in
+     search initial
+   with Budget -> ());
+  let perm =
+    match !best with
+    | Some (_, _, perm) -> perm
+    | None -> Array.init n (fun i -> i) (* budget blown before any leaf *)
+  in
+  let struct_enc = encode_struct perm in
+  let model_enc =
+    match inst.model with
+    | Speed.Continuous { fmin; fmax } ->
+      Printf.sprintf "cont:%s:%s" (f17 fmin) (f17 fmax)
+    | Speed.Discrete levels ->
+      "disc:" ^ String.concat ":" (List.map f17 (Array.to_list levels))
+    | Speed.Vdd_hopping levels ->
+      "vdd:" ^ String.concat ":" (List.map f17 (Array.to_list levels))
+    | Speed.Incremental { fmin; fmax; delta } ->
+      Printf.sprintf "incr:%s:%s:%s" (f17 fmin) (f17 fmax) (f17 delta)
+  in
+  let rel_enc =
+    match inst.rel with
+    | None -> "norel"
+    | Some (r : Rel.params) ->
+      Printf.sprintf "rel:%s:%s:%s:%s:%s" (f17 r.lambda0) (f17 r.sensitivity)
+        (f17 r.fmin) (f17 r.fmax) (f17 r.frel)
+  in
+  let exact_key =
+    Printf.sprintf "x1|%s|W=%s|w17=%s|m=%s|d=%s|r=%s" struct_enc
+      (f17 total_work) (encode_w17 perm) model_enc (f17 inst.deadline) rel_enc
+  in
+  let scaled_key =
+    match (inst.model, inst.rel) with
+    | Speed.Continuous _, None -> Some ("s1|" ^ struct_enc)
+    | _ -> None
+  in
+  { perm; exact_key; scaled_key; total_work }

@@ -1,0 +1,48 @@
+(** Structural canonicalization of solve requests — the cache key.
+
+    Two requests that are the same instance up to a renaming of task
+    ids (and of processor ids) must hit the same cache line; two
+    requests whose task graphs additionally differ only by a uniform
+    work factor and a different deadline are {e scaled-equivalent}
+    under the CONTINUOUS model and can be answered by rescaling (the
+    D⁻²/w³ laws checked by escheck's deadline-/work-scaling
+    relations).
+
+    Canonical labeling is colour refinement (1-WL) over the task
+    graph {e and} the processor chains — initial colours are the
+    scale-normalized weights plus degrees and processor ranks, refined
+    by the multisets of successor/predecessor colours and the colours
+    of the same-processor neighbours — followed, when symmetry leaves
+    ties, by individualization: branch on each member of the first
+    tied class and keep the lexicographically smallest encoding.  The
+    result is a permutation of task ids that is invariant under
+    relabeling, so the canonical encodings below are too.
+
+    Keys are the {e full} canonical encodings, not digests: key
+    equality is structural equality (the weights rounded to 12
+    significant digits in the scaled key), never a hash collision.
+
+    - {!exact_key} encodes everything the answer depends on: canonical
+      structure, full-precision weights, processor chains and count,
+      speed model parameters, deadline, reliability parameters.
+    - {!scaled_key} exists only for CONTINUOUS BI-CRIT requests; it
+      encodes the canonical structure with weights {e normalized by
+      the total work} and {e omits} the deadline, the total work and
+      the [fmin]/[fmax] bounds — whether a cached optimum may be
+      rescaled into this instance's bounds is decided at lookup time
+      ({!Cache}), not by the key. *)
+
+type t = {
+  perm : int array;  (** [perm.(i)] = canonical position of task [i] *)
+  exact_key : string;
+  scaled_key : string option;
+  total_work : (float[@units "work"]);
+}
+
+val of_instance : order:Dag.task list array -> Protocol.instance -> t
+(** Canonicalize an instance together with its resolved per-processor
+    orders (see {!Protocol.resolve_order}).  Pure and total for any
+    structurally valid instance; the search budget is generous and, if
+    ever exhausted on a pathological symmetric graph, the function
+    falls back to the identity labeling — still sound (keys remain
+    exact encodings), merely blind to relabeled duplicates. *)

@@ -1,0 +1,60 @@
+The esservd wire protocol: one JSON request per line on stdin, one
+JSON response per line on stdout, in request order.  Floats are
+clipped to four decimals here for display stability; the full-width
+values are pinned by the unit and bench suites.
+
+  $ clip() { sed -E 's/([0-9]+\.[0-9]{4})[0-9]+/\1/g'; }
+
+A cold solve is a cache miss; a byte-identical duplicate sent in a
+later batch is answered from the cache.
+
+  $ R='{"id":1,"tasks":[1.0,2.0],"edges":[[0,1]],"model":{"kind":"continuous","fmin":0.1,"fmax":5.0},"deadline":6.0}'
+  $ printf '%s\n%s\n' "$R" "$R" | esservd --batch 1 | clip
+  {"id":1,"status":"ok","cache":"miss","engine":"continuous convex solve","exact":true,"energy":0.7500,"makespan":5.9999,"speeds":[0.5000,0.5000]}
+  {"id":1,"status":"ok","cache":"hit","engine":"continuous convex solve","exact":true,"energy":0.7500,"makespan":5.9999,"speeds":[0.5000,0.5000]}
+
+A uniformly scaled twin (work x2, deadline x1.25) of an already
+solved continuous instance is answered by rescaling the cached
+optimum: energy follows c^3/d^2, speeds follow c/d.
+
+  $ S='{"id":2,"tasks":[2.0,4.0],"edges":[[0,1]],"model":{"kind":"continuous","fmin":0.1,"fmax":5.0},"deadline":7.5}'
+  $ printf '%s\n%s\n' "$R" "$S" | esservd --batch 1 | clip
+  {"id":1,"status":"ok","cache":"miss","engine":"continuous convex solve","exact":true,"energy":0.7500,"makespan":5.9999,"speeds":[0.5000,0.5000]}
+  {"id":2,"status":"ok","cache":"rescale-hit","engine":"continuous convex solve","exact":true,"energy":3.8400,"makespan":7.4999,"speeds":[0.8000,0.8000]}
+
+Discrete menus go through the branch-and-bound engine and report it.
+
+  $ printf '%s\n' '{"id":5,"tasks":[1.0,2.0],"edges":[[0,1]],"model":{"kind":"discrete","levels":[0.5,1.0,2.0]},"deadline":4.0}' | esservd
+  {"id":5,"status":"ok","cache":"miss","engine":"discrete branch-and-bound","exact":true,"energy":2.25,"makespan":4,"speeds":[0.5,1]}
+
+A malformed line yields an error response and the stream continues.
+
+  $ printf '%s\n%s\n' 'not json' "$R" | esservd --batch 1 | clip
+  {"id":null,"status":"error","error":"malformed JSON: expected null at offset 0"}
+  {"id":1,"status":"ok","cache":"miss","engine":"continuous convex solve","exact":true,"energy":0.7500,"makespan":5.9999,"speeds":[0.5000,0.5000]}
+
+An unmeetable deadline is reported as infeasible, not as an error.
+
+  $ printf '%s\n' '{"id":4,"tasks":[1.0,1.0],"edges":[[0,1]],"model":{"kind":"continuous","fmin":0.5,"fmax":1.0},"deadline":0.5}' | esservd
+  {"id":4,"status":"infeasible","cache":"miss","error":"infeasible: the deadline cannot be met under this model"}
+
+Admission control: with a queue of one, the second and third request
+of a batch are shed with a retryable status.
+
+  $ printf '%s\n%s\n%s\n' \
+  >   '{"id":"a","tasks":[1.0],"model":{"kind":"continuous","fmin":0.1,"fmax":5.0},"deadline":4.0}' \
+  >   '{"id":"b","tasks":[2.0],"model":{"kind":"continuous","fmin":0.1,"fmax":5.0},"deadline":4.0}' \
+  >   '{"id":"c","tasks":[3.0],"model":{"kind":"continuous","fmin":0.1,"fmax":5.0},"deadline":4.0}' \
+  > | esservd --batch 4 --queue 1 | clip
+  {"id":"a","status":"ok","cache":"miss","engine":"continuous convex solve","exact":true,"energy":0.0625,"makespan":3.9999,"speeds":[0.2500]}
+  {"id":"b","status":"shed","error":"queue full"}
+  {"id":"c","status":"shed","error":"queue full"}
+
+The Unix-domain socket transport speaks the same protocol: start a
+daemon for a single connection, then drive it with the client mode.
+
+  $ esservd --socket esserv.sock --once &
+  $ for i in $(seq 50); do [ -S esserv.sock ] && break; sleep 0.1; done
+  $ printf '%s\n' "$R" | esservd --connect esserv.sock | clip
+  {"id":1,"status":"ok","cache":"miss","engine":"continuous convex solve","exact":true,"energy":0.7500,"makespan":5.9999,"speeds":[0.5000,0.5000]}
+  $ wait

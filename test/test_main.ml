@@ -28,4 +28,5 @@ let () =
       Test_extensions2.suite;
       Test_facade.suite;
       Test_check.suite;
+      Test_serve.suite;
     ]

@@ -1,0 +1,374 @@
+(* Tests for the serving subsystem (lib/serve): wire-protocol parsing
+   and rendering, canonicalization invariance (the qcheck properties
+   ISSUE 9 asks for), structural-cache semantics including the
+   rescale-hit soundness conditions, and the batching server's
+   admission control and determinism. *)
+
+module Protocol = Es_serve.Protocol
+module Canon = Es_serve.Canon
+module Cache = Es_serve.Cache
+module Server = Es_serve.Server
+module CGen = Es_check.Gen
+module Rng = Es_util.Rng
+module Pool = Es_par.Pool
+
+(* --- helpers -------------------------------------------------------- *)
+
+let continuous_instance (inst : CGen.inst) =
+  {
+    Protocol.weights = inst.CGen.weights;
+    edges = inst.CGen.edges;
+    procs = inst.CGen.procs;
+    order = None;
+    model = Speed.continuous ~fmin:(CGen.fmin inst) ~fmax:(CGen.fmax inst);
+    deadline = CGen.deadline inst;
+    rel = None;
+  }
+
+(* Relabel an instance and its resolved order: new task [j] is old
+   task [sigma.(j)], and the processor chains are shuffled too (the
+   canonical keys must not see either renaming). *)
+let relabel ~sigma ~proc_rot (pi : Protocol.instance) order =
+  let n = Array.length pi.Protocol.weights in
+  let inv = Array.make n 0 in
+  Array.iteri (fun nw old -> inv.(old) <- nw) sigma;
+  let weights = Array.init n (fun j -> pi.Protocol.weights.(sigma.(j))) in
+  let edges = List.map (fun (a, b) -> (inv.(a), inv.(b))) pi.Protocol.edges in
+  let p = Array.length order in
+  let order' =
+    Array.init p (fun q ->
+        List.map (fun t -> inv.(t)) order.((q + proc_rot) mod p))
+  in
+  ({ pi with Protocol.weights; edges }, order')
+
+let permutation rng n =
+  let sigma = Array.init n (fun i -> i) in
+  Rng.shuffle rng sigma;
+  sigma
+
+let solve_line line =
+  let srv = Server.create { Server.default_config with Server.batch = 1 } in
+  match Server.process_batch srv ~pool:None [ line ] with
+  | [ r ] -> r
+  | _ -> Alcotest.fail "expected exactly one response"
+
+(* --- protocol ------------------------------------------------------- *)
+
+let chain_line =
+  {|{"id":7,"tasks":[1,2,3],"edges":[[0,1],[1,2]],"model":{"kind":"continuous","fmin":0.1,"fmax":5},"deadline":10}|}
+
+let test_parse_roundtrip () =
+  match Protocol.parse_line chain_line with
+  | Protocol.Malformed m -> Alcotest.fail m
+  | Protocol.Request req ->
+    Alcotest.(check int) "tasks" 3 (Array.length req.Protocol.inst.Protocol.weights);
+    Alcotest.(check int) "edges" 2 (List.length req.Protocol.inst.Protocol.edges);
+    Alcotest.(check (float 0.)) "deadline" 10. req.Protocol.inst.Protocol.deadline
+
+let test_parse_rejects () =
+  let malformed = function
+    | Protocol.Malformed _ -> true
+    | Protocol.Request _ -> false
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("rejects " ^ line) true (malformed (Protocol.parse_line line)))
+    [
+      "not json";
+      "[1,2]";
+      {|{"tasks":[1],"deadline":1}|};
+      {|{"tasks":[1],"model":{"kind":"warp"},"deadline":1}|};
+      {|{"tasks":[1],"model":{"kind":"continuous","fmin":2,"fmax":1},"deadline":1}|};
+      {|{"tasks":[1],"model":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":1,"procs":0}|};
+      {|{"tasks":"x","model":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":1}|};
+    ]
+
+let test_render_is_compact_json () =
+  let r = solve_line chain_line in
+  (* one line, parseable, and echoing the id *)
+  Alcotest.(check bool) "single line" false (String.contains r '\n');
+  let j = Es_obs.Obs_json.of_string r in
+  (match Es_obs.Obs_json.member "id" j with
+  | Some (Es_obs.Obs_json.Num x) -> Alcotest.(check (float 0.)) "id" 7. x
+  | _ -> Alcotest.fail "id missing");
+  match Es_obs.Obs_json.member "status" j with
+  | Some (Es_obs.Obs_json.Str s) -> Alcotest.(check string) "status" "ok" s
+  | _ -> Alcotest.fail "status missing"
+
+(* --- canon: qcheck properties --------------------------------------- *)
+
+let qcheck_canon_relabel_invariant =
+  let open QCheck2 in
+  let gen = Gen.pair (CGen.qgen ()) (Gen.int_bound 1_000_000) in
+  Test.make ~name:"canon: keys invariant under task/processor relabeling"
+    ~count:200 gen (fun (ginst, seed) ->
+      let pi = continuous_instance ginst in
+      let order = Protocol.resolve_order pi in
+      let n = Array.length pi.Protocol.weights in
+      let rng = Rng.create ~seed in
+      let sigma = permutation rng n in
+      let proc_rot = Rng.int rng (max 1 (Array.length order)) in
+      let pi', order' = relabel ~sigma ~proc_rot pi order in
+      let c = Canon.of_instance ~order pi in
+      let c' = Canon.of_instance ~order:order' pi' in
+      String.equal c.Canon.exact_key c'.Canon.exact_key
+      && Option.equal String.equal c.Canon.scaled_key c'.Canon.scaled_key)
+
+let qcheck_canon_scaled_key_agreement =
+  let open QCheck2 in
+  let gen =
+    Gen.triple (CGen.qgen ()) (Gen.float_range 0.5 3.) (Gen.float_range 0.5 3.)
+  in
+  Test.make ~name:"canon: scaled key ignores uniform work/deadline scaling"
+    ~count:200 gen (fun (ginst, c, d) ->
+      let pi = continuous_instance ginst in
+      let order = Protocol.resolve_order pi in
+      let scaled =
+        {
+          pi with
+          Protocol.weights = Array.map (fun w -> w *. c) pi.Protocol.weights;
+          deadline = pi.Protocol.deadline *. d;
+        }
+      in
+      let k = Canon.of_instance ~order pi in
+      let k' = Canon.of_instance ~order scaled in
+      (* same canonical shape -> same scaled key; the exact key must
+         split unless the scaling is the identity *)
+      Option.equal String.equal k.Canon.scaled_key k'.Canon.scaled_key
+      && Option.is_some k.Canon.scaled_key
+      && (Float.abs (c -. 1.) < 1e-9 && Float.abs (d -. 1.) < 1e-9
+         || not (String.equal k.Canon.exact_key k'.Canon.exact_key)))
+
+let test_canon_distinguishes_chains () =
+  (* same weight multiset, different precedence order: distinct keys *)
+  let mk weights =
+    let pi =
+      {
+        Protocol.weights;
+        edges = [ (0, 1); (1, 2) ];
+        procs = 1;
+        order = None;
+        model = Speed.continuous ~fmin:0.1 ~fmax:5.;
+        deadline = 10.;
+        rel = None;
+      }
+    in
+    let order = Protocol.resolve_order pi in
+    Canon.of_instance ~order pi
+  in
+  let a = mk [| 1.; 2.; 3. |] and b = mk [| 2.; 1.; 3. |] in
+  Alcotest.(check bool) "chain 1-2-3 <> chain 2-1-3" false
+    (String.equal a.Canon.exact_key b.Canon.exact_key)
+
+(* --- cache ---------------------------------------------------------- *)
+
+let solved_of (pi : Protocol.instance) =
+  match
+    Solver.solve
+      {
+        Solver.mapping = Protocol.resolve_mapping pi;
+        model = pi.Protocol.model;
+        deadline = pi.Protocol.deadline;
+        rel = pi.Protocol.rel;
+      }
+  with
+  | Ok a ->
+    Protocol.Solved
+      (Protocol.solved_of_schedule ~engine:a.Solver.engine ~exact:a.Solver.exact
+         a.Solver.schedule)
+  | Error e -> Alcotest.fail e
+
+let diamond =
+  {
+    Protocol.weights = [| 1.; 1.5; 2.; 1. |];
+    edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ];
+    procs = 2;
+    order = None;
+    model = Speed.continuous ~fmin:0.05 ~fmax:5.;
+    deadline = 8.;
+    rel = None;
+  }
+
+let test_cache_exact_hit_permutes () =
+  let cache = Cache.create () in
+  let order = Protocol.resolve_order diamond in
+  let canon = Canon.of_instance ~order diamond in
+  Cache.insert cache ~inst:diamond ~canon (solved_of diamond);
+  (* relabeled duplicate must hit and return speeds in its own labels *)
+  let sigma = [| 3; 2; 1; 0 |] in
+  let pi', order' = relabel ~sigma ~proc_rot:1 diamond order in
+  let canon' = Canon.of_instance ~order:order' pi' in
+  match Cache.lookup cache ~inst:pi' ~order:order' ~canon:canon' with
+  | Some { Cache.status = Protocol.Solved s; disposition = Protocol.Hit } ->
+    (match solved_of pi' with
+    | Protocol.Solved fresh ->
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-6)) (Printf.sprintf "speed %d" i) fresh.Protocol.speeds.(i) v)
+        s.Protocol.speeds
+    | _ -> Alcotest.fail "fresh solve failed")
+  | _ -> Alcotest.fail "expected an exact hit"
+
+let test_cache_rescale_hit_law () =
+  let cache = Cache.create () in
+  let order = Protocol.resolve_order diamond in
+  let canon = Canon.of_instance ~order diamond in
+  (match solved_of diamond with
+  | Protocol.Solved s as status ->
+    Cache.insert cache ~inst:diamond ~canon status;
+    let c = 2. and d = 1.25 in
+    let scaled =
+      {
+        diamond with
+        Protocol.weights = Array.map (fun w -> w *. c) diamond.Protocol.weights;
+        deadline = diamond.Protocol.deadline *. d;
+      }
+    in
+    let order' = Protocol.resolve_order scaled in
+    let canon' = Canon.of_instance ~order:order' scaled in
+    (match Cache.lookup cache ~inst:scaled ~order:order' ~canon:canon' with
+    | Some { Cache.status = Protocol.Solved s'; disposition = Protocol.Rescale_hit } ->
+      (* E' = E * c^3/d^2, f' = f * c/d: the scaling laws of escheck *)
+      Alcotest.(check (float 1e-4))
+        "energy follows c3/d2"
+        (s.Protocol.energy *. (c ** 3.) /. (d ** 2.))
+        s'.Protocol.energy;
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-6)) (Printf.sprintf "speed %d scales" i)
+            (s.Protocol.speeds.(i) *. c /. d)
+            v)
+        s'.Protocol.speeds
+    | _ -> Alcotest.fail "expected a rescale hit")
+  | _ -> Alcotest.fail "diamond must solve")
+
+let test_cache_rescale_requires_interior () =
+  (* a deadline so loose every speed clamps at fmin: the bound is
+     active, the optimum is not scale-covariant, so no rescaling *)
+  let tight = { diamond with Protocol.deadline = 50.; model = Speed.continuous ~fmin:0.8 ~fmax:4. } in
+  let cache = Cache.create () in
+  let order = Protocol.resolve_order tight in
+  let canon = Canon.of_instance ~order tight in
+  Cache.insert cache ~inst:tight ~canon (solved_of tight);
+  let scaled =
+    { tight with Protocol.deadline = tight.Protocol.deadline *. 1.05 }
+  in
+  let canon' = Canon.of_instance ~order scaled in
+  match Cache.lookup cache ~inst:scaled ~order ~canon:canon' with
+  | None -> ()
+  | Some { Cache.disposition = Protocol.Rescale_hit; _ } ->
+    Alcotest.fail "boundary optimum must not be rescaled"
+  | Some _ -> Alcotest.fail "unexpected exact hit"
+
+(* --- server --------------------------------------------------------- *)
+
+let test_server_hits_across_batches () =
+  let srv = Server.create { Server.default_config with Server.batch = 1 } in
+  match Server.process_batch srv ~pool:None [ chain_line ] with
+  | [ first ] ->
+    (match Server.process_batch srv ~pool:None [ chain_line ] with
+    | [ second ] ->
+      Alcotest.(check bool) "first is a miss" true
+        (Astring.String.is_infix ~affix:{|"cache":"miss"|} first);
+      Alcotest.(check bool) "second is a hit" true
+        (Astring.String.is_infix ~affix:{|"cache":"hit"|} second)
+    | _ -> Alcotest.fail "one response expected")
+  | _ -> Alcotest.fail "one response expected"
+
+let test_server_sheds_beyond_queue () =
+  let srv =
+    Server.create { Server.default_config with Server.batch = 4; queue = 1 }
+  in
+  let lines = [ chain_line; chain_line; "nonsense"; chain_line ] in
+  match Server.process_batch srv ~pool:None lines with
+  | [ r1; r2; r3; r4 ] ->
+    Alcotest.(check bool) "1 admitted" true
+      (Astring.String.is_infix ~affix:{|"status":"ok"|} r1);
+    Alcotest.(check bool) "2 shed" true
+      (Astring.String.is_infix ~affix:{|"status":"shed"|} r2);
+    Alcotest.(check bool) "malformed answered, no slot" true
+      (Astring.String.is_infix ~affix:{|"status":"error"|} r3);
+    Alcotest.(check bool) "4 shed" true
+      (Astring.String.is_infix ~affix:{|"status":"shed"|} r4)
+  | _ -> Alcotest.fail "four responses expected"
+
+let trace_lines () =
+  let rng = Rng.create ~seed:41 in
+  let insts =
+    List.init 10 (fun i ->
+        let inst = CGen.generate rng in
+        let pi = continuous_instance inst in
+        let nums xs =
+          Es_obs.Obs_json.List
+            (Array.to_list (Array.map (fun x -> Es_obs.Obs_json.Num x) xs))
+        in
+        Es_obs.Obs_json.to_compact_string
+          (Es_obs.Obs_json.Obj
+             [
+               ("id", Es_obs.Obs_json.Num (float_of_int i));
+               ("tasks", nums pi.Protocol.weights);
+               ( "edges",
+                 Es_obs.Obs_json.List
+                   (List.map
+                      (fun (a, b) ->
+                        Es_obs.Obs_json.List
+                          [
+                            Es_obs.Obs_json.Num (float_of_int a);
+                            Es_obs.Obs_json.Num (float_of_int b);
+                          ])
+                      pi.Protocol.edges) );
+               ("procs", Es_obs.Obs_json.Num (float_of_int pi.Protocol.procs));
+               ( "model",
+                 Es_obs.Obs_json.Obj
+                   [
+                     ("kind", Es_obs.Obs_json.Str "continuous");
+                     ("fmin", Es_obs.Obs_json.Num (CGen.fmin inst));
+                     ("fmax", Es_obs.Obs_json.Num (CGen.fmax inst));
+                   ] );
+               ("deadline", Es_obs.Obs_json.Num pi.Protocol.deadline);
+             ]))
+  in
+  insts @ insts (* every instance twice: second pass hits *)
+
+let run_whole_trace pool =
+  let srv =
+    Server.create { Server.default_config with Server.batch = 5; selfcheck = 1 }
+  in
+  let rec go acc = function
+    | [] -> List.concat (List.rev acc)
+    | lines ->
+      let batch = List.filteri (fun i _ -> i < 5) lines in
+      let rest = List.filteri (fun i _ -> i >= 5) lines in
+      go (Server.process_batch srv ~pool batch :: acc) rest
+  in
+  go [] (trace_lines ())
+
+let test_server_jobs_determinism () =
+  let seq = run_whole_trace None in
+  let par = Pool.with_pool ~domains:2 (fun pool -> run_whole_trace (Some pool)) in
+  Alcotest.(check (list string)) "byte-identical across pool sizes" seq par
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol: parse round-trip" `Quick test_parse_roundtrip;
+      Alcotest.test_case "protocol: malformed inputs rejected" `Quick test_parse_rejects;
+      Alcotest.test_case "protocol: responses are compact JSON" `Quick
+        test_render_is_compact_json;
+      QCheck_alcotest.to_alcotest qcheck_canon_relabel_invariant;
+      QCheck_alcotest.to_alcotest qcheck_canon_scaled_key_agreement;
+      Alcotest.test_case "canon: weight order matters on a chain" `Quick
+        test_canon_distinguishes_chains;
+      Alcotest.test_case "cache: exact hit permutes speeds" `Quick
+        test_cache_exact_hit_permutes;
+      Alcotest.test_case "cache: rescale hit follows the scaling laws" `Quick
+        test_cache_rescale_hit_law;
+      Alcotest.test_case "cache: boundary optima are not rescaled" `Quick
+        test_cache_rescale_requires_interior;
+      Alcotest.test_case "server: duplicate hits across batches" `Quick
+        test_server_hits_across_batches;
+      Alcotest.test_case "server: sheds beyond the queue bound" `Quick
+        test_server_sheds_beyond_queue;
+      Alcotest.test_case "server: responses identical across pool sizes" `Quick
+        test_server_jobs_determinism;
+    ] )
