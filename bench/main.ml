@@ -261,8 +261,328 @@ let write_baseline path =
   Bench_common.write_json ~path (baseline_json ());
   Printf.printf "baseline: wrote %s (%d experiments)\n" path (List.length experiments)
 
+(* ------------------------------------------------------------------ *)
+(* LP scaling curves (--lp-scaling): BENCH_PR10.json                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Scaling behaviour of the revised sparse simplex (PR10) against the
+   retained dense tableau: task-count curve n ∈ {10², 10³, 10⁴} on the
+   5-level VDD menu, menu curve m ∈ {5, 25, 100} speeds at n = 10²,
+   each split into single-solve cost and a warm-chained deadline
+   sweep.  Full solves that would take minutes (dense at n ≥ 10³,
+   anything at n = 10⁴) are recorded as explicit power-law
+   extrapolations ("extrapolated": true, fitted from the measured
+   sizes) rather than silently dropped or silently endured. *)
+module Lp_scaling = struct
+  module Problem = Es_lp.Problem
+  module Lp_cert = Es_check.Lp_cert
+  open Es_obs.Obs_json
+
+  let levels5 = [| 0.2; 0.4; 0.6; 0.8; 1.0 |]
+  let sweep_k = 20
+
+  let chain_mapping n =
+    let rng = Es_util.Rng.create ~seed:(100 + n) in
+    Mapping.single_processor (Generators.chain rng ~n ~wlo:0.5 ~whi:2.)
+
+  let base_deadline mapping = 2. *. Dag.total_weight (Mapping.dag mapping)
+
+  let lp_at ~levels mapping scale =
+    Bicrit_vdd.lp ~deadline:(scale *. base_deadline mapping) ~levels mapping
+
+  let revised_cold ~levels mapping =
+    let t, o = Bench_common.wall (fun () -> Problem.solve (lp_at ~levels mapping 1.)) in
+    match o with
+    | Problem.Solution _ -> t
+    | Problem.Infeasible | Problem.Unbounded -> failwith "lp-scaling: cold solve not optimal"
+
+  let dense_cold ~levels mapping =
+    let lp = lp_at ~levels mapping 1. in
+    let obj = Problem.objective_coeffs lp in
+    let rows = Problem.constraints lp in
+    let t, o = Bench_common.wall (fun () -> Es_lp.Simplex.solve_dense ~obj rows) in
+    match o with
+    | Es_lp.Simplex.Optimal _ -> t
+    | Es_lp.Simplex.Infeasible | Es_lp.Simplex.Unbounded ->
+      failwith "lp-scaling: dense solve not optimal"
+
+  (* Warm-chained sweep over [sweep_k] deadlines (1% steps), certifying
+     every optimum against the raw LP statement.  Returns total wall,
+     and whether all solves were optimal and certified. *)
+  let warm_sweep ~levels mapping =
+    let certified = ref true in
+    let basis = ref None in
+    let t, () =
+      Bench_common.wall (fun () ->
+          for i = 0 to sweep_k - 1 do
+            let lp = lp_at ~levels mapping (1. +. (0.01 *. float_of_int i)) in
+            let o, b = Problem.solve_warm ?basis:!basis lp in
+            basis := b;
+            match o with
+            | Problem.Solution s -> (
+              match Lp_cert.certify_problem lp s with
+              | Lp_cert.Certified _ -> ()
+              | Lp_cert.Rejected _ -> certified := false)
+            | Problem.Infeasible | Problem.Unbounded -> certified := false
+          done)
+    in
+    (t, !certified)
+
+  (* Least-squares power-law fit t = c·n^k on log-log axes. *)
+  let fit_power points =
+    let n = float_of_int (List.length points) in
+    let lx = List.map (fun (x, _) -> log x) points in
+    let ly = List.map (fun (_, y) -> log y) points in
+    let sum = List.fold_left ( +. ) 0. in
+    let sx = sum lx and sy = sum ly in
+    let sxx = sum (List.map (fun x -> x *. x) lx) in
+    let sxy = sum (List.map2 ( *. ) lx ly) in
+    let k = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+    let c = exp ((sy -. (k *. sx)) /. n) in
+    (c, k)
+
+  let eval_power (c, k) x = c *. (x ** k)
+
+  (* Differential corpus: seeded random LPs with mixed row senses,
+     dense vs revised (cold, then warm re-solve from the cold basis);
+     any outcome-class mismatch, objective divergence beyond rtol 1e-8,
+     or uncertified optimum counts as a disagreement. *)
+  let differential ~trials =
+    let disagreements = ref 0 in
+    for seed = 1 to trials do
+      let rng = Es_util.Rng.create ~seed:(9000 + seed) in
+      let nv = 2 + Es_util.Rng.int rng 3 in
+      let nr = 2 + Es_util.Rng.int rng 4 in
+      let coeffs () =
+        Array.init nv (fun _ ->
+            if Es_util.Rng.uniform_in rng 0. 1. < 0.25 then 0.
+            else Es_util.Rng.uniform_in rng (-2.) 2.)
+      in
+      let obj =
+        Array.init nv (fun _ ->
+            if Es_util.Rng.uniform_in rng 0. 1. < 0.85 then Es_util.Rng.uniform_in rng 0.1 2.
+            else Es_util.Rng.uniform_in rng (-1.) 0.)
+      in
+      let rows =
+        List.init nr (fun _ ->
+            let relation =
+              match Es_util.Rng.int rng 3 with
+              | 0 -> Es_lp.Simplex.Le
+              | 1 -> Es_lp.Simplex.Ge
+              | _ -> Es_lp.Simplex.Eq
+            in
+            { Es_lp.Simplex.coeffs = coeffs (); relation; rhs = Es_util.Rng.uniform_in rng (-2.) 4. })
+      in
+      let sp = Es_lp.Sparse.of_rows ~obj rows in
+      let dense = Es_lp.Simplex.solve_dense ~obj rows in
+      let cold, basis = Es_lp.Revised.solve sp in
+      let ok_certified o =
+        match Lp_cert.certify_outcome ~obj ~constraints:rows o with
+        | None | Some (Lp_cert.Certified _) -> true
+        | Some (Lp_cert.Rejected _) -> false
+      in
+      let agree a b =
+        match (a, b) with
+        | Es_lp.Simplex.Optimal { objective = x; _ }, Es_lp.Simplex.Optimal { objective = y; _ }
+          ->
+          Float.abs (x -. y) <= 1e-8 *. Float.max 1. (Float.max (Float.abs x) (Float.abs y))
+        | Es_lp.Simplex.Infeasible, Es_lp.Simplex.Infeasible
+        | Es_lp.Simplex.Unbounded, Es_lp.Simplex.Unbounded ->
+          true
+        | _ -> false
+      in
+      let warm_ok =
+        match basis with
+        | None -> true
+        | Some b ->
+          let warm, _ = Es_lp.Revised.solve_from b sp in
+          agree cold warm && ok_certified warm
+      in
+      if not (agree dense cold && ok_certified cold && warm_ok) then incr disagreements
+    done;
+    !disagreements
+
+  let run ~gate =
+    (* fit points for the two solvers (dense stops where it gets slow) *)
+    let fit_sizes_dense = [ 50; 100; 200 ] in
+    let fit_sizes_revised = [ 50; 100; 200; 500; 1000 ] in
+    let measure sizes solver =
+      List.map
+        (fun n ->
+          let t = solver ~levels:levels5 (chain_mapping n) in
+          Printf.printf "  measured n=%d: %.3fs\n%!" n t;
+          (float_of_int n, t))
+        sizes
+    in
+    print_endline "lp-scaling: dense single-solve fit points";
+    let dense_pts = measure fit_sizes_dense dense_cold in
+    print_endline "lp-scaling: revised single-solve fit points";
+    let revised_pts = measure fit_sizes_revised revised_cold in
+    let dense_fit = fit_power dense_pts in
+    let revised_fit = fit_power revised_pts in
+    let lookup pts n = List.assoc_opt (float_of_int n) pts in
+    (* task-count curve on the 5-level menu *)
+    let task_curve =
+      List.map
+        (fun n ->
+          let fn = float_of_int n in
+          let revised_s, revised_ex =
+            match lookup revised_pts n with
+            | Some t -> (t, false)
+            | None -> (eval_power revised_fit fn, true)
+          in
+          let dense_s, dense_ex =
+            match lookup dense_pts n with
+            | Some t -> (t, false)
+            | None -> (eval_power dense_fit fn, true)
+          in
+          let sweep =
+            if n > 1000 then
+              Obj
+                [
+                  ("skipped_reason", Str "full solves at this size are extrapolated");
+                  ("k", Num (float_of_int sweep_k));
+                ]
+            else begin
+              let wall, certified = warm_sweep ~levels:levels5 (chain_mapping n) in
+              let per_solve = wall /. float_of_int sweep_k in
+              Printf.printf
+                "  n=%d warm sweep: %.2fs total, %.3fs/solve (dense %.3fs/solve%s)\n%!" n wall
+                per_solve dense_s
+                (if dense_ex then ", extrapolated" else "");
+              Obj
+                [
+                  ("k", Num (float_of_int sweep_k));
+                  ("wall_s", Num wall);
+                  ("per_solve_s", Num per_solve);
+                  ("certified_all", Bool certified);
+                  ("cold_sweep_s_equiv", Num (revised_s *. float_of_int sweep_k));
+                  ("speedup_vs_cold", Num (revised_s /. per_solve));
+                  ("speedup_vs_dense", Num (dense_s /. per_solve));
+                ]
+            end
+          in
+          ( n,
+            Obj
+              [
+                ("n", Num fn);
+                ("revised_cold_s", Num revised_s);
+                ("revised_extrapolated", Bool revised_ex);
+                ("dense_cold_s", Num dense_s);
+                ("dense_extrapolated", Bool dense_ex);
+                ("sweep", sweep);
+              ] ))
+        [ 100; 1000; 10_000 ]
+    in
+    (* menu curve at n = 100 *)
+    let menu_curve =
+      List.map
+        (fun m ->
+          let levels =
+            Array.init m (fun i ->
+                0.1 +. (0.9 *. float_of_int i /. float_of_int (max 1 (m - 1))))
+          in
+          let mapping = chain_mapping 100 in
+          let cold = revised_cold ~levels mapping in
+          let wall, certified = warm_sweep ~levels mapping in
+          Printf.printf "  n=100 m=%d: cold %.3fs, warm sweep %.2fs\n%!" m cold wall;
+          Obj
+            [
+              ("levels", Num (float_of_int m));
+              ("revised_cold_s", Num cold);
+              ("sweep", Obj
+                 [
+                   ("k", Num (float_of_int sweep_k));
+                   ("wall_s", Num wall);
+                   ("per_solve_s", Num (wall /. float_of_int sweep_k));
+                   ("certified_all", Bool certified);
+                 ]);
+            ])
+        [ 5; 25; 100 ]
+    in
+    print_endline "lp-scaling: differential corpus";
+    let diff_trials = 200 in
+    let disagreements = differential ~trials:diff_trials in
+    Printf.printf "  %d trials, %d disagreements\n%!" diff_trials disagreements;
+    (* the gate: warm sweep >= 5x the dense baseline at n = 10^3, all
+       sweep solves certified, zero differential disagreements *)
+    let threshold = 5. in
+    let gate_entry =
+      match List.find_opt (fun (n, _) -> n = 1000) task_curve with
+      | Some (_, entry) -> entry
+      | None -> failwith "lp-scaling: no n=1000 curve point for the gate"
+    in
+    let gate_speedup, gate_certified =
+      match member "sweep" gate_entry with
+      | Some sweep -> (
+        ( (match member "speedup_vs_dense" sweep with Some (Num s) -> s | _ -> 0.),
+          match member "certified_all" sweep with Some (Bool b) -> b | _ -> false ))
+      | None -> (0., false)
+    in
+    let certified_all_sweeps =
+      gate_certified
+      && List.for_all
+           (fun e ->
+             match member "sweep" e with
+             | Some sweep -> (
+               match member "certified_all" sweep with Some (Bool b) -> b | _ -> true)
+             | None -> true)
+           menu_curve
+    in
+    let passed =
+      gate_speedup >= threshold && certified_all_sweeps && disagreements = 0
+    in
+    Printf.printf
+      "gate: warm sweep at n=1000 is %.1fx dense (threshold %.0fx), certified=%b, \
+       differential disagreements=%d -> %s\n%!"
+      gate_speedup threshold certified_all_sweeps disagreements
+      (if passed then "PASS" else "FAIL");
+    let doc =
+      Obj
+        [
+          ("schema", Str "esched-bench/3");
+          ("baseline", Str "PR10");
+          ("sweep_deadlines", Num (float_of_int sweep_k));
+          ("task_scaling", List (List.map snd task_curve));
+          ("menu_scaling", List menu_curve);
+          ( "dense_fit",
+            Obj [ ("c", Num (fst dense_fit)); ("k", Num (snd dense_fit)) ] );
+          ( "revised_fit",
+            Obj [ ("c", Num (fst revised_fit)); ("k", Num (snd revised_fit)) ] );
+          ( "differential",
+            Obj
+              [
+                ("trials", Num (float_of_int diff_trials));
+                ("disagreements", Num (float_of_int disagreements));
+              ] );
+          ( "gate",
+            Obj
+              [
+                ("applied", Bool gate);
+                ("threshold_speedup", Num threshold);
+                ("at_n", Num 1000.);
+                ("speedup_vs_dense", Num gate_speedup);
+                ("certified_all_sweeps", Bool certified_all_sweeps);
+                ("differential_disagreements", Num (float_of_int disagreements));
+                ("passed", Bool passed);
+              ] );
+        ]
+    in
+    (doc, passed)
+end
+
 let () =
   let argv = Array.to_list Sys.argv in
-  let json_only = List.mem "--json-only" argv in
-  if not json_only then print_table ();
-  write_baseline (Bench_common.out_path ~default:"BENCH_PR1.json" argv)
+  if List.mem "--lp-scaling" argv then begin
+    let gate = List.mem "--gate" argv in
+    let doc, passed = Lp_scaling.run ~gate in
+    let path = Bench_common.out_path ~default:"BENCH_PR10.json" argv in
+    Bench_common.write_json ~path doc;
+    Printf.printf "lp-scaling: wrote %s\n" path;
+    if gate && not passed then exit 1
+  end
+  else begin
+    let json_only = List.mem "--json-only" argv in
+    if not json_only then print_table ();
+    write_baseline (Bench_common.out_path ~default:"BENCH_PR1.json" argv)
+  end

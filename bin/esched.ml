@@ -187,7 +187,7 @@ let simulate kind n seed p slack trials lambda0 stats j =
 
 (* --- pareto --------------------------------------------------------- *)
 
-let pareto kind n seed p reliability stats j =
+let pareto kind n seed p reliability vdd cold stats j =
   jobs := max 1 j;
   with_stats stats @@ fun () ->
   let dag = build_dag kind ~n ~seed in
@@ -201,6 +201,9 @@ let pareto kind n seed p reliability stats j =
       let rel = Rel.make ~lambda0:1e-5 ~sensitivity:3. ~fmin ~fmax ~frel:0.8 () in
       Pareto.tricrit_front ?pool:(current_pool ()) ~rel ~deadlines mapping
     end
+    else if vdd then
+      Pareto.bicrit_vdd_front ?pool:(current_pool ()) ~warm:(not cold)
+        ~levels:levels5 ~deadlines mapping
     else Pareto.bicrit_front ?pool:(current_pool ()) ~fmin ~fmax ~deadlines mapping
   in
   let table = Es_util.Table.create ~columns:[ "D/Dmin"; "energy"; "#re-executed" ] in
@@ -216,7 +219,11 @@ let pareto kind n seed p reliability stats j =
   Es_util.Table.print
     ~caption:
       (Printf.sprintf "Energy/deadline front (%s)"
-         (if reliability then "TRI-CRIT, best-of heuristics" else "BI-CRIT, continuous"))
+         (if reliability then "TRI-CRIT, best-of heuristics"
+          else if vdd then
+            Printf.sprintf "BI-CRIT, vdd-hopping LP, %s starts"
+              (if cold then "cold" else "warm")
+          else "BI-CRIT, continuous"))
     table;
   if Pareto.is_front points then 0
   else begin
@@ -314,9 +321,20 @@ let pareto_cmd =
     Arg.(value & flag & info [ "reliability"; "r" ]
            ~doc:"Sweep the TRI-CRIT front instead of BI-CRIT.")
   in
+  let vdd =
+    Arg.(value & flag & info [ "vdd" ]
+           ~doc:"Sweep the VDD-HOPPING BI-CRIT LP (Section IV) instead of the \
+                 continuous model, re-optimising each deadline from the previous \
+                 optimal basis.")
+  in
+  let cold =
+    Arg.(value & flag & info [ "cold" ]
+           ~doc:"With $(b,--vdd): solve every deadline from scratch instead of \
+                 warm-starting.  The front is identical either way.")
+  in
   Cmd.v (Cmd.info "pareto" ~doc:"Sweep the energy/deadline trade-off")
-    Term.(const pareto $ kind_arg $ n_arg $ seed_arg $ p_arg $ reliability $ stats_arg
-          $ jobs_arg)
+    Term.(const pareto $ kind_arg $ n_arg $ seed_arg $ p_arg $ reliability $ vdd
+          $ cold $ stats_arg $ jobs_arg)
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"End-to-end pipeline demo") Term.(const demo $ seed_arg)

@@ -59,6 +59,43 @@ let run_lp_cert t =
     else Pass
   | Problem.Unbounded -> Fail "VDD LP reported unbounded; energy is bounded below by 0"
 
+(* ---- lp-warm ------------------------------------------------------- *)
+
+(* Warm-started re-optimisation must be indistinguishable from cold
+   solving: sweep the VDD LP over a handful of deadlines, chaining the
+   optimal basis from one solve into the next, and demand (a) the same
+   outcome class as an independent cold solve, (b) objectives within
+   rtol 1e-8, and (c) that every warm optimum still carries a valid
+   primal-dual certificate against the raw LP statement. *)
+let run_lp_warm t =
+  let mapping = Gen.mapping t in
+  let base = Gen.deadline t in
+  let basis = ref None in
+  let check_at deadline =
+    let lp = Bicrit_vdd.lp ~deadline ~levels:t.Gen.levels mapping in
+    let cold = Problem.solve lp in
+    let warm, basis' = Problem.solve_warm ?basis:!basis lp in
+    basis := basis';
+    match (cold, warm) with
+    | Problem.Infeasible, Problem.Infeasible -> Pass
+    | Problem.Unbounded, _ | _, Problem.Unbounded ->
+      Fail "VDD LP reported unbounded; energy is bounded below by 0"
+    | Problem.Solution c, Problem.Solution w -> (
+      let ec = Problem.objective c and ew = Problem.objective w in
+      if not (close ~rtol:1e-8 ec ew) then
+        Fail (Printf.sprintf "D=%g: cold objective %.12g vs warm %.12g" deadline ec ew)
+      else
+        match Lp_cert.certify_problem lp w with
+        | Lp_cert.Certified _ -> Pass
+        | Lp_cert.Rejected _ as v ->
+          Fail (Printf.sprintf "D=%g: warm optimum rejected: %s" deadline (Lp_cert.describe v)))
+    | Problem.Solution _, Problem.Infeasible ->
+      Fail (Printf.sprintf "D=%g: cold feasible but warm-started solve claims infeasible" deadline)
+    | Problem.Infeasible, Problem.Solution _ ->
+      Fail (Printf.sprintf "D=%g: warm-started solve feasible but cold claims infeasible" deadline)
+  in
+  combine (List.map (fun s -> check_at (s *. base)) [ 1.; 1.3; 0.9; 1.8 ])
+
 (* ---- kkt ----------------------------------------------------------- *)
 
 let run_kkt t =
@@ -392,6 +429,12 @@ let all =
       descr = "every simplex optimum of the VDD LP carries a valid primal-dual certificate";
       shapes = Gen.all_shapes;
       run = run_lp_cert;
+    };
+    {
+      name = "lp-warm";
+      descr = "warm-started LP re-optimisation matches cold solves and stays certified";
+      shapes = Gen.all_shapes;
+      run = run_lp_warm;
     };
     {
       name = "kkt";

@@ -7,6 +7,11 @@
       re-certified by {!Lp_cert} (primal/dual feasibility,
       complementary slackness, zero gap); an [Infeasible] claim is
       cross-checked against the all-[fmax] schedule.
+    - ["lp-warm"]: sweeping the VDD LP over several deadlines with the
+      optimal basis chained from one solve into the next
+      ({!Es_lp.Problem.solve_warm}) yields the same outcome class and
+      objective (rtol 1e-8) as independent cold solves, and every warm
+      optimum is re-certified by {!Lp_cert}.
     - ["kkt"]: every {!Bicrit_continuous.solve_general} result passes
       {!Kkt.check_general} (feasibility, energy accounting,
       critical-path saturation, exchange stationarity).

@@ -86,6 +86,32 @@ let energy ~deadline ~levels mapping =
   | Problem.Infeasible -> None
   | Problem.Unbounded -> assert false
 
+(* The LPs of a deadline sweep share every coefficient — the deadline
+   enters only as the right-hand side of the deadline (and nothing
+   else), so the optimal basis at one deadline is a legal warm start at
+   the next.  Chaining bases turns a sweep of two-phase solves into a
+   chain of few-pivot dual-simplex re-optimisations. *)
+let energy_sweep ?(warm = true) ~deadlines ~levels mapping =
+  let basis = ref None in
+  Array.map
+    (fun deadline ->
+      let lp, _, _ = build_lp ~deadline ~levels mapping in
+      let outcome =
+        if warm then begin
+          let outcome, next = Problem.solve_warm ?basis:!basis lp in
+          basis := next;
+          outcome
+        end
+        else Problem.solve lp
+      in
+      match outcome with
+      | Problem.Solution s -> Some (Problem.objective s)
+      | Problem.Infeasible -> None
+      | Problem.Unbounded ->
+        (* energy is bounded below by 0: cannot happen on well-formed input *)
+        assert false)
+    deadlines
+
 let energy_with_deadline_price ~deadline ~levels mapping =
   let lp, _, deadline_rows = build_lp ~deadline ~levels mapping in
   match Problem.solve lp with

@@ -51,6 +51,20 @@ val energy :
 
     @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit). *)
 
+val energy_sweep :
+  ?warm:bool ->
+  deadlines:(float[@units "time"]) array ->
+  levels:(float[@units "freq"]) array ->
+  Mapping.t ->
+  (float[@units "energy"]) option array
+(** {!energy} at each deadline, in order, re-optimising each LP from
+    the previous deadline's optimal basis (the LPs differ only in
+    their right-hand side).  [~warm:false] forces independent cold
+    solves — same results, no basis reuse; the warm-invariance tests
+    pin the two paths against each other point-for-point.
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit). *)
+
 val energy_with_deadline_price :
   deadline:(float[@units "time"]) ->
   levels:(float[@units "freq"]) array ->

@@ -20,6 +20,42 @@ let bicrit_front ?pool ~fmin ~fmax ~deadlines mapping =
        deadlines)
 [@@lint.allow "X002"]
 
+(* Warm chaining runs inside fixed 25-deadline blocks: the partition
+   is a function of the deadline list alone, never of the pool size,
+   so the basis handed to each solve — and therefore every computed
+   point — is identical under --jobs 1 and --jobs 4.  Blocks are the
+   parallelism grain; within a block each LP re-starts from the
+   previous deadline's optimal basis. *)
+let vdd_block = 25
+
+let bicrit_vdd_front ?pool ?(warm = true) ~levels ~deadlines mapping =
+  let ds = Array.of_list deadlines in
+  let n = Array.length ds in
+  let n_blocks = (n + vdd_block - 1) / vdd_block in
+  let blocks =
+    List.init n_blocks (fun b ->
+        Array.sub ds (b * vdd_block) (min vdd_block (n - (b * vdd_block))))
+  in
+  let results =
+    Es_par.Par.parallel_map ?pool
+      (fun block ->
+        Bicrit_vdd.energy_sweep ~warm ~deadlines:block ~levels mapping)
+      blocks
+  in
+  List.concat
+    (List.map2
+       (fun block energies ->
+         List.filter_map Fun.id
+           (List.mapi
+              (fun i e ->
+                match e with
+                | None -> None
+                | Some energy ->
+                  Some { deadline = block.(i); energy; n_reexecuted = 0 })
+              (Array.to_list energies)))
+       blocks results)
+[@@lint.allow "X002"]
+
 let tricrit_front ?pool ~rel ~deadlines mapping =
   List.filter_map Fun.id
     (Es_par.Par.parallel_map ?pool

@@ -25,6 +25,25 @@ val bicrit_front :
 
     @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
 
+val bicrit_vdd_front :
+  ?pool:Es_par.Pool.t ->
+  ?warm:bool ->
+  levels:(float[@units "freq"]) array ->
+  deadlines:(float[@units "time"]) list ->
+  Mapping.t ->
+  point list
+(** VDD-HOPPING BI-CRIT optimum (the Section-IV LP) per deadline,
+    re-optimising each LP from the previous deadline's basis via
+    {!Bicrit_vdd.energy_sweep}.  Warm chaining happens inside fixed
+    25-deadline blocks whose partition depends only on [deadlines], so
+    the front is identical point-for-point across pool sizes and under
+    [~warm:false] (independent cold solves) — the warm-start
+    invariance suite pins exactly that.  [?pool] parallelises over
+    blocks.
+
+    @raise Failure if an internal iteration or node budget is exhausted (e.g. the simplex pivot limit).
+    @raise Invalid_argument on a malformed task graph (nonpositive weight, out-of-range or self-loop edge, or cycle). *)
+
 val tricrit_front :
   ?pool:Es_par.Pool.t ->
   rel:Rel.params ->

@@ -1,0 +1,265 @@
+exception Singular
+exception Unstable
+
+(* Product-form update: after the basis column at position [pos] is
+   replaced, B_new = B_old · E where E is the identity with column
+   [pos] replaced by w = B_old⁻¹ a_entering.  [idx]/[vals] hold w's
+   off-[pos] nonzeros; [diag] = w.(pos). *)
+type eta = { pos : int; idx : int array; vals : float array; diag : float }
+
+type t = {
+  m : int;
+  (* L: unit lower triangular over pivot positions; column [j] stores
+     (original row, value) pairs with pinv.(row) > j *)
+  l_rows : int array array;
+  l_vals : float array array;
+  (* U: upper triangular in pivot space; column [k] stores (position
+     j < k, value) pairs plus the diagonal *)
+  u_rows : int array array;
+  u_vals : float array array;
+  u_diag : float array;
+  prow : int array; (* pivot position -> original row *)
+  pinv : int array; (* original row -> pivot position *)
+  mutable etas : eta array; (* applied oldest-first *)
+  mutable n_etas : int;
+}
+
+let pivot_floor = 1e-12
+
+(* Left-looking (Gilbert–Peierls) sparse LU with partial pivoting.
+   Column k of the basis is solved against the already-built L via a
+   DFS over L's pattern (reverse post-order = topological order), so
+   the factorisation costs O(flops) rather than O(m²). *)
+let factor ~m ~col basis =
+  if Array.length basis <> m then invalid_arg "Lu.factor: basis length";
+  let l_rows = Array.make m [||] and l_vals = Array.make m [||] in
+  let u_rows = Array.make m [||] and u_vals = Array.make m [||] in
+  let u_diag = Array.make m 0. in
+  let prow = Array.make m (-1) and pinv = Array.make m (-1) in
+  let x = Array.make m 0. in
+  let stamp = Array.make m (-1) in
+  (* DFS scratch: node stack + per-node child cursor + post-order out *)
+  let node_stack = Array.make m 0 in
+  let child_pos = Array.make m 0 in
+  let order = Array.make m 0 in
+  let pattern = Array.make m 0 in
+  for k = 0 to m - 1 do
+    let a = col basis.(k) in
+    (* symbolic: pattern of x = reach of rows(a) through L *)
+    let n_order = ref 0 and n_pattern = ref 0 in
+    List.iter
+      (fun (r0, _) ->
+        if stamp.(r0) <> k then begin
+          (* iterative DFS from r0 *)
+          let top = ref 0 in
+          node_stack.(0) <- r0;
+          child_pos.(0) <- 0;
+          stamp.(r0) <- k;
+          while !top >= 0 do
+            let r = node_stack.(!top) in
+            let j = pinv.(r) in
+            if j < 0 then begin
+              (* unpivoted row: terminal *)
+              pattern.(!n_pattern) <- r;
+              incr n_pattern;
+              decr top
+            end
+            else begin
+              let rows = l_rows.(j) in
+              let c = child_pos.(!top) in
+              if c < Array.length rows then begin
+                child_pos.(!top) <- c + 1;
+                let r' = rows.(c) in
+                if stamp.(r') <> k then begin
+                  stamp.(r') <- k;
+                  incr top;
+                  node_stack.(!top) <- r';
+                  child_pos.(!top) <- 0
+                end
+              end
+              else begin
+                (* post-order: all descendants done *)
+                order.(!n_order) <- j;
+                pattern.(!n_pattern) <- r;
+                incr n_pattern;
+                incr n_order;
+                decr top
+              end
+            end
+          done
+        end)
+      a;
+    (* numeric: scatter, then eliminate in reverse post-order *)
+    List.iter (fun (r, v) -> x.(r) <- x.(r) +. v) a;
+    for o = !n_order - 1 downto 0 do
+      let j = order.(o) in
+      let xj = x.(prow.(j)) in
+      if xj <> 0. then begin
+        let rows = l_rows.(j) and vals = l_vals.(j) in
+        for i = 0 to Array.length rows - 1 do
+          x.(rows.(i)) <- x.(rows.(i)) -. (vals.(i) *. xj)
+        done
+      end
+    done;
+    (* pivot: largest magnitude among unpivoted pattern rows *)
+    let prow_k = ref (-1) and pmax = ref 0. in
+    for i = 0 to !n_pattern - 1 do
+      let r = pattern.(i) in
+      if pinv.(r) < 0 then begin
+        let a = Float.abs x.(r) in
+        if a > !pmax then begin
+          pmax := a;
+          prow_k := r
+        end
+      end
+    done;
+    if !prow_k < 0 || !pmax <= pivot_floor then begin
+      (* clean scratch before bailing *)
+      for i = 0 to !n_pattern - 1 do
+        x.(pattern.(i)) <- 0.
+      done;
+      raise Singular
+    end;
+    let piv_row = !prow_k in
+    let piv = x.(piv_row) in
+    (* U column k: entries at already-pivoted positions *)
+    let n_u = ref 0 and n_l = ref 0 in
+    for i = 0 to !n_pattern - 1 do
+      let r = pattern.(i) in
+      if pinv.(r) >= 0 then begin
+        if x.(r) <> 0. then incr n_u
+      end
+      else if r <> piv_row && x.(r) <> 0. then incr n_l
+    done;
+    let ur = Array.make !n_u 0 and uv = Array.make !n_u 0. in
+    let lr = Array.make !n_l 0 and lv = Array.make !n_l 0. in
+    let iu = ref 0 and il = ref 0 in
+    for i = 0 to !n_pattern - 1 do
+      let r = pattern.(i) in
+      if pinv.(r) >= 0 then begin
+        if x.(r) <> 0. then begin
+          ur.(!iu) <- pinv.(r);
+          uv.(!iu) <- x.(r);
+          incr iu
+        end
+      end
+      else if r <> piv_row && x.(r) <> 0. then begin
+        lr.(!il) <- r;
+        lv.(!il) <- x.(r) /. piv;
+        incr il
+      end;
+      x.(r) <- 0.
+    done;
+    u_rows.(k) <- ur;
+    u_vals.(k) <- uv;
+    u_diag.(k) <- piv;
+    l_rows.(k) <- lr;
+    l_vals.(k) <- lv;
+    prow.(k) <- piv_row;
+    pinv.(piv_row) <- k
+  done;
+  { m; l_rows; l_vals; u_rows; u_vals; u_diag; prow; pinv; etas = [||]; n_etas = 0 }
+
+let n_updates t = t.n_etas
+
+(* solve B x = b: x returned in basis-position space; [b] is consumed
+   as scratch (row space). *)
+let ftran t b =
+  let m = t.m in
+  let z = Array.make m 0. in
+  (* L z = P b *)
+  for j = 0 to m - 1 do
+    let zj = b.(t.prow.(j)) in
+    z.(j) <- zj;
+    if zj <> 0. then begin
+      let rows = t.l_rows.(j) and vals = t.l_vals.(j) in
+      for i = 0 to Array.length rows - 1 do
+        b.(rows.(i)) <- b.(rows.(i)) -. (vals.(i) *. zj)
+      done
+    end
+  done;
+  (* U x = z *)
+  for k = m - 1 downto 0 do
+    let xk = z.(k) /. t.u_diag.(k) in
+    z.(k) <- xk;
+    if xk <> 0. then begin
+      let rows = t.u_rows.(k) and vals = t.u_vals.(k) in
+      for i = 0 to Array.length rows - 1 do
+        z.(rows.(i)) <- z.(rows.(i)) -. (vals.(i) *. xk)
+      done
+    end
+  done;
+  (* eta file, oldest first *)
+  for e = 0 to t.n_etas - 1 do
+    let eta = t.etas.(e) in
+    let xp = z.(eta.pos) /. eta.diag in
+    if xp <> 0. then
+      for i = 0 to Array.length eta.idx - 1 do
+        z.(eta.idx.(i)) <- z.(eta.idx.(i)) -. (eta.vals.(i) *. xp)
+      done;
+    z.(eta.pos) <- xp
+  done;
+  z
+
+(* solve Bᵀ y = c: [c] indexed by basis position (consumed as
+   scratch); y returned in row space. *)
+let btran t c =
+  let m = t.m in
+  (* eta transposes, newest first *)
+  for e = t.n_etas - 1 downto 0 do
+    let eta = t.etas.(e) in
+    let s = ref c.(eta.pos) in
+    for i = 0 to Array.length eta.idx - 1 do
+      s := !s -. (eta.vals.(i) *. c.(eta.idx.(i)))
+    done;
+    c.(eta.pos) <- !s /. eta.diag
+  done;
+  (* Uᵀ s = c (forward) *)
+  for k = 0 to m - 1 do
+    let acc = ref c.(k) in
+    let rows = t.u_rows.(k) and vals = t.u_vals.(k) in
+    for i = 0 to Array.length rows - 1 do
+      acc := !acc -. (vals.(i) *. c.(rows.(i)))
+    done;
+    c.(k) <- !acc /. t.u_diag.(k)
+  done;
+  (* Lᵀ t = s (backward), then y = Pᵀ t *)
+  let y = Array.make m 0. in
+  for j = m - 1 downto 0 do
+    let acc = ref c.(j) in
+    let rows = t.l_rows.(j) and vals = t.l_vals.(j) in
+    for i = 0 to Array.length rows - 1 do
+      acc := !acc -. (vals.(i) *. c.(t.pinv.(rows.(i))))
+    done;
+    c.(j) <- !acc;
+    y.(t.prow.(j)) <- !acc
+  done;
+  y
+
+let eta_stability = 1e-8
+
+let update t ~pos ~w =
+  let wp = w.(pos) in
+  let wmax = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. w in
+  if Float.abs wp <= eta_stability *. Float.max 1. wmax then raise Unstable;
+  let n = ref 0 in
+  Array.iteri (fun i v -> if i <> pos && v <> 0. then incr n) w;
+  let idx = Array.make !n 0 and vals = Array.make !n 0. in
+  let k = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if i <> pos && v <> 0. then begin
+        idx.(!k) <- i;
+        vals.(!k) <- v;
+        incr k
+      end)
+    w;
+  let eta = { pos; idx; vals; diag = wp } in
+  let cap = Array.length t.etas in
+  if t.n_etas >= cap then begin
+    let grown = Array.make (max 8 (2 * cap)) eta in
+    Array.blit t.etas 0 grown 0 t.n_etas;
+    t.etas <- grown
+  end;
+  t.etas.(t.n_etas) <- eta;
+  t.n_etas <- t.n_etas + 1

@@ -1,0 +1,47 @@
+(** Sparse LU factorisation of a simplex basis, with product-form
+    (eta-file) updates.
+
+    The factorisation is left-looking Gilbert–Peierls with partial
+    pivoting: each basis column is solved against the already-built
+    [L] by a depth-first search over its pattern, so factor time is
+    proportional to arithmetic work, not m².  After a pivot the basis
+    is updated in product form — [B·E] with [E] an identity whose
+    column [p] is [w = B⁻¹ a_enter] — and {!Revised} refactorises from
+    scratch once the eta file grows past its threshold or an update
+    looks numerically unsafe. *)
+
+type t
+(** A factorisation [P·B = L·U] plus an ordered eta file. *)
+
+exception Singular
+(** The supplied basis columns are linearly dependent (to working
+    precision).  {!Revised.solve_from} treats this as "the warm basis
+    is stale" and falls back to a cold start. *)
+
+exception Unstable
+(** A product-form update would divide by a pivot too small relative
+    to the column — the caller must refactorise instead. *)
+
+val factor : m:int -> col:(int -> (int * float) list) -> int array -> t
+(** [factor ~m ~col basis] factorises the m×m matrix whose k-th column
+    is [col basis.(k)] (a row-index/value list).
+
+    @raise Singular if the basis is numerically rank-deficient.
+    @raise Invalid_argument if [basis] does not have length [m]. *)
+
+val ftran : t -> float array -> float array
+(** [ftran t b] solves [B x = b].  [b] is in row space and is consumed
+    as scratch; the result is indexed by basis position. *)
+
+val btran : t -> float array -> float array
+(** [btran t c] solves [Bᵀ y = c].  [c] is indexed by basis position
+    and is consumed as scratch; the result is in row space. *)
+
+val update : t -> pos:int -> w:float array -> unit
+(** [update t ~pos ~w] records the replacement of the basis column at
+    [pos], where [w = ftran t a_enter] (position space).  O(nnz w).
+
+    @raise Unstable if [w.(pos)] is too small for a safe update. *)
+
+val n_updates : t -> int
+(** Number of eta transforms accumulated since factorisation. *)

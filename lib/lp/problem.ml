@@ -64,6 +64,24 @@ let solve ?max_iters t =
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
 
+let solve_warm ?max_iters ?basis t =
+  Obs.incr c_solves;
+  Obs.time t_solve @@ fun () ->
+  let sp = Sparse.of_rows ~obj:(objective_coeffs t) (constraints t) in
+  let outcome, next =
+    match basis with
+    | None -> Revised.solve ?max_iters sp
+    | Some b -> Revised.solve_from ?max_iters b sp
+  in
+  let outcome =
+    match outcome with
+    | Simplex.Optimal { objective; solution; duals } ->
+      Solution { objective; values = solution; duals }
+    | Simplex.Infeasible -> Infeasible
+    | Simplex.Unbounded -> Unbounded
+  in
+  (outcome, next)
+
 let objective s = s.objective
 let value s v = s.values.(v)
 let values s = Array.copy s.values

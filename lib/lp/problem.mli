@@ -47,6 +47,18 @@ val solve : ?max_iters:int -> t -> outcome
 
     @raise Failure if the simplex iteration limit is exceeded. *)
 
+val solve_warm :
+  ?max_iters:int -> ?basis:Revised.basis -> t -> outcome * Revised.basis option
+(** Like {!solve}, but optionally re-optimises from a previous optimal
+    basis and returns the optimal basis alongside the outcome ([Some]
+    exactly when the outcome is [Solution]).  The basis is valid as a
+    warm start for any problem with the same variables and rows — in a
+    Pareto deadline sweep, the same LP re-stated at the next deadline.
+    A stale or mismatched basis silently degrades to a cold solve (see
+    {!Revised.solve_from}).
+
+    @raise Failure if the simplex iteration limit is exceeded. *)
+
 val objective : solution -> float
 val value : solution -> var -> float
 

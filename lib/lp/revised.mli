@@ -1,0 +1,55 @@
+(** Revised simplex over sparse columns with an LU-factorised basis.
+
+    Instead of carrying an m×n tableau, each iteration prices columns
+    against [y = B⁻ᵀc_B] and computes the entering direction
+    [w = B⁻¹a_j] from the {!Lu} factorisation, updated in product form
+    and refactorised every [refactor_every] pivots (or earlier on a
+    numerically unsafe eta).  Pricing is Dantzig (partial, with a
+    rotating window, on wide problems) with a Bland fallback after
+    [bland_after] iterations of a phase to escape cycling.
+
+    The payoff is {!solve_from}: a deadline sweep re-optimises each
+    step from the previous optimal basis — primal simplex if the basis
+    is still primal feasible at the new rhs, dual simplex if it is
+    only dual feasible (the common case when tightening a deadline),
+    and a transparent cold start otherwise.  Soundness does not depend
+    on the warm basis: any nonsingular basis is a legal starting
+    point, stale bases fall back to a cold solve, and {!Lp_cert}
+    certifies every [Optimal] independently of how it was reached. *)
+
+type outcome =
+  | Optimal of { objective : float; solution : float array; duals : float array }
+  | Infeasible
+  | Unbounded
+      (** Same shape and dual-sign conventions as the dense reference:
+          [duals.(i)] prices row [i] in input order (≤ 0 on [Le] rows,
+          ≥ 0 on [Ge] rows, free on [Eq] rows). *)
+
+type basis
+(** An optimal basis, reusable as a warm start for any problem with
+    the same columns (e.g. {!Sparse.with_rhs} restatements). *)
+
+val solve :
+  ?max_iters:int ->
+  ?bland_after:int ->
+  ?refactor_every:int ->
+  Sparse.t ->
+  outcome * basis option
+(** Cold two-phase solve.  The basis is [Some] exactly on [Optimal].
+
+    @raise Failure if [max_iters] (default 200_000) is exceeded or the
+    basis becomes numerically singular mid-solve. *)
+
+val solve_from :
+  ?max_iters:int ->
+  ?bland_after:int ->
+  ?refactor_every:int ->
+  basis ->
+  Sparse.t ->
+  outcome * basis option
+(** Warm solve from a previous optimal basis.  Invalid, singular or
+    otherwise stale bases fall back to {!solve} (counted under the
+    ["lp_warm_cold_fallbacks"] telemetry counter), so the result is
+    identical in kind to a cold solve — only faster.
+
+    @raise Failure as {!solve}. *)

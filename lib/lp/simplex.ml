@@ -1,7 +1,12 @@
-type relation = Le | Eq | Ge
-type constr = { coeffs : float array; relation : relation; rhs : float }
+type relation = Sparse.relation = Le | Eq | Ge
 
-type outcome =
+type constr = Sparse.constr = {
+  coeffs : float array;
+  relation : relation;
+  rhs : float;
+}
+
+type outcome = Revised.outcome =
   | Optimal of { objective : float; solution : float array; duals : float array }
   | Infeasible
   | Unbounded
@@ -143,7 +148,7 @@ let optimise ?(bland_after = 20_000) ~max_iters ~phase_pivots t c allowed =
   in
   loop ()
 
-let solve ?(max_iters = 200_000) ~obj constraints =
+let solve_dense ?(max_iters = 200_000) ~obj constraints =
   let n_struct = Array.length obj in
   let rows = Array.of_list constraints in
   let m = Array.length rows in
@@ -260,7 +265,10 @@ let solve ?(max_iters = 200_000) ~obj constraints =
     in
     Optimal { objective = objective_value t c2; solution; duals }
 
-let solve ?max_iters ~obj constraints =
-  match solve ?max_iters ~obj constraints with
+let solve_dense ?max_iters ~obj constraints =
+  match solve_dense ?max_iters ~obj constraints with
   | outcome -> outcome
   | exception Exit -> Infeasible
+
+let solve ?max_iters ~obj constraints =
+  fst (Revised.solve ?max_iters (Sparse.of_rows ~obj constraints))

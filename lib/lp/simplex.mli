@@ -1,25 +1,30 @@
-(** Dense two-phase primal simplex.
+(** Two-phase primal simplex — compatibility front door.
 
     Solves [minimise cᵀx subject to A x (≤|=|≥) b, x ≥ 0].  This is the
     LP engine behind the paper's polynomial-time result for BI-CRIT
     under the VDD-HOPPING model (Section IV) and for the fixed-subset
     TRI-CRIT VDD-HOPPING subproblem.
 
-    The implementation is a textbook tableau method: phase 1 minimises
-    the sum of artificial variables to find a basic feasible point,
-    phase 2 optimises the true objective.  Dantzig pricing is used by
-    default and the solver falls back to Bland's rule after an
-    iteration threshold, which guarantees termination on degenerate
-    instances.  Problem sizes in this project are a few hundred rows,
-    for which the dense tableau is perfectly adequate. *)
+    {!solve} now routes through {!Revised} — a revised simplex over
+    {!Sparse} CSC columns with an LU-factorised basis, eta-file
+    updates and periodic refactorisation — which also exposes the
+    warm-start entry points ({!Revised.solve_from}) that Pareto
+    deadline sweeps chain between near-identical LPs.  The original
+    dense tableau method is retained verbatim as {!solve_dense}: it is
+    the independent reference implementation the differential test
+    harness checks the revised core against, not a production path. *)
 
-type relation = Le | Eq | Ge
+type relation = Sparse.relation = Le | Eq | Ge
 
-type constr = { coeffs : float array; relation : relation; rhs : float }
+type constr = Sparse.constr = {
+  coeffs : float array;
+  relation : relation;
+  rhs : float;
+}
 (** One row [coeffs · x (≤|=|≥) rhs].  [coeffs] has one entry per
     structural variable. *)
 
-type outcome =
+type outcome = Revised.outcome =
   | Optimal of {
       objective : float;
       solution : float array;  (** the structural variables *)
@@ -37,6 +42,15 @@ val solve : ?max_iters:int -> obj:float array -> constr list -> outcome
 (** [solve ~obj constraints] minimises [obj · x].  All structural
     variables are implicitly non-negative.  [max_iters] bounds the
     total pivot count (default [200_000]); exceeding it raises
-    [Failure].
+    [Failure].  Thin wrapper over {!Revised.solve}.
+
+    @raise Failure if the simplex iteration limit is exceeded. *)
+
+val solve_dense : ?max_iters:int -> obj:float array -> constr list -> outcome
+(** The retained dense tableau implementation, bit-for-bit the
+    pre-revised solver.  Kept as the differential-testing reference:
+    slow (O(m·n) per pivot, dense storage) but independent of the
+    sparse data structures, LU factorisation and eta updates that
+    {!solve} relies on.
 
     @raise Failure if the simplex iteration limit is exceeded. *)

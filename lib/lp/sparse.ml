@@ -1,0 +1,132 @@
+type relation = Le | Eq | Ge
+type constr = { coeffs : float array; relation : relation; rhs : float }
+
+(* Standard form: minimise obj·x over  A x = b  after every inequality
+   row gains a slack (+1 for <=) or surplus (-1 for >=) column.  Rows
+   are NOT sign-normalised: the column structure is a function of the
+   rows' coefficients and senses only, never of the right-hand side, so
+   a basis learned at one rhs remains a meaningful starting basis at
+   any other rhs (the warm-start contract). *)
+type t = {
+  m : int;
+  n_struct : int;
+  n_cols : int;
+  col_ptr : int array; (* length n_cols + 1 *)
+  row_idx : int array;
+  col_val : float array;
+  obj : float array; (* length n_cols: structural costs then zeros *)
+  rhs : float array; (* length m, caller's signs *)
+  rels : relation array; (* length m, caller's senses *)
+  slack_col : int array; (* per row: its slack/surplus column, or -1 on = rows *)
+}
+
+let of_rows ~obj constraints =
+  let rows = Array.of_list constraints in
+  let m = Array.length rows in
+  let n_struct = Array.length obj in
+  Array.iter
+    (fun r ->
+      if Array.length r.coeffs <> n_struct then
+        invalid_arg "Sparse.of_rows: row length does not match the objective")
+    rows;
+  let n_slack =
+    Array.fold_left
+      (fun acc r -> match r.relation with Eq -> acc | Le | Ge -> acc + 1)
+      0 rows
+  in
+  let n_cols = n_struct + n_slack in
+  (* structural columns: count, then fill, per column *)
+  let counts = Array.make (n_cols + 1) 0 in
+  Array.iter
+    (fun r ->
+      Array.iteri (fun j v -> if v <> 0. then counts.(j) <- counts.(j) + 1) r.coeffs)
+    rows;
+  let slack_col = Array.make m (-1) in
+  let next_slack = ref n_struct in
+  Array.iteri
+    (fun _i r ->
+      match r.relation with
+      | Eq -> ()
+      | Le | Ge ->
+        counts.(!next_slack) <- 1;
+        incr next_slack)
+    rows;
+  let col_ptr = Array.make (n_cols + 1) 0 in
+  for j = 0 to n_cols - 1 do
+    col_ptr.(j + 1) <- col_ptr.(j) + counts.(j)
+  done;
+  let nnz = col_ptr.(n_cols) in
+  let row_idx = Array.make nnz 0 in
+  let col_val = Array.make nnz 0. in
+  let cursor = Array.copy col_ptr in
+  let next_slack = ref n_struct in
+  Array.iteri
+    (fun i r ->
+      Array.iteri
+        (fun j v ->
+          if v <> 0. then begin
+            let k = cursor.(j) in
+            row_idx.(k) <- i;
+            col_val.(k) <- v;
+            cursor.(j) <- k + 1
+          end)
+        r.coeffs;
+      match r.relation with
+      | Eq -> ()
+      | Le | Ge ->
+        let j = !next_slack in
+        slack_col.(i) <- j;
+        let k = cursor.(j) in
+        row_idx.(k) <- i;
+        col_val.(k) <- (match r.relation with Le -> 1. | Ge -> -1. | Eq -> 0.);
+        cursor.(j) <- k + 1;
+        incr next_slack)
+    rows;
+  let full_obj = Array.make n_cols 0. in
+  Array.blit obj 0 full_obj 0 n_struct;
+  {
+    m;
+    n_struct;
+    n_cols;
+    col_ptr;
+    row_idx;
+    col_val;
+    obj = full_obj;
+    rhs = Array.map (fun (r : constr) -> r.rhs) rows;
+    rels = Array.map (fun (r : constr) -> r.relation) rows;
+    slack_col;
+  }
+
+let with_rhs t rhs =
+  if Array.length rhs <> t.m then
+    invalid_arg "Sparse.with_rhs: rhs length does not match the row count";
+  { t with rhs = Array.copy rhs }
+
+let m t = t.m
+let n_struct t = t.n_struct
+let n_cols t = t.n_cols
+let slack_col t i = t.slack_col.(i)
+let row_relation t i = t.rels.(i)
+let nnz t = t.col_ptr.(t.n_cols)
+let rhs t = Array.copy t.rhs
+let obj t j = t.obj.(j)
+
+let iter_col t j f =
+  for k = t.col_ptr.(j) to t.col_ptr.(j + 1) - 1 do
+    f t.row_idx.(k) t.col_val.(k)
+  done
+
+let col_list t j =
+  let acc = ref [] in
+  for k = t.col_ptr.(j + 1) - 1 downto t.col_ptr.(j) do
+    acc := (t.row_idx.(k), t.col_val.(k)) :: !acc
+  done;
+  !acc
+
+(* y·a_j without materialising the column *)
+let dot_col t j y =
+  let acc = ref 0. in
+  for k = t.col_ptr.(j) to t.col_ptr.(j + 1) - 1 do
+    acc := !acc +. (y.(t.row_idx.(k)) *. t.col_val.(k))
+  done;
+  !acc

@@ -1,0 +1,70 @@
+(** Column-compressed (CSC) standard form of an LP.
+
+    [min obj·x  s.t.  A x (≤|=|≥) b,  x ≥ 0] is stored column-major
+    after appending one slack (+1, for [≤]) or surplus (−1, for [≥])
+    column per inequality row.  The column structure depends only on
+    the rows' coefficients and senses — never on the right-hand side —
+    so a basis found at one [b] is a structurally valid starting basis
+    at any other [b]; {!with_rhs} plus {!Revised.solve_from} is the
+    warm-start path the Pareto deadline sweeps use.
+
+    This module is pure data: {!Revised} does the pivoting, and the
+    dense reference implementation in {!Simplex} ignores it. *)
+
+type relation = Le | Eq | Ge
+
+type constr = { coeffs : float array; relation : relation; rhs : float }
+(** One row [coeffs · x (≤|=|≥) rhs] with one entry per structural
+    variable, exactly as accepted by {!Simplex.solve}. *)
+
+type t
+(** An immutable standard-form problem. *)
+
+val of_rows : obj:float array -> constr list -> t
+(** Build the CSC form.  Zero coefficients are dropped; rows keep their
+    input order (duals are reported against it).
+
+    @raise Invalid_argument if a row's length differs from [obj]'s. *)
+
+val with_rhs : t -> float array -> t
+(** Same columns, senses and objective with a fresh right-hand side —
+    an O(m) copy sharing the column arrays.  This is how a deadline
+    sweep restates "the same LP at a new deadline".
+
+    @raise Invalid_argument if the length differs from the row count. *)
+
+val m : t -> int
+(** Row count. *)
+
+val n_struct : t -> int
+(** Structural (caller-visible) variable count. *)
+
+val n_cols : t -> int
+(** Structural + slack/surplus columns; {!Revised} additionally treats
+    indices [n_cols .. n_cols + m − 1] as virtual unit artificials. *)
+
+val nnz : t -> int
+(** Stored nonzeros. *)
+
+val slack_col : t -> int -> int
+(** The slack/surplus column appended for row [i], or [-1] on [Eq]
+    rows.  {!Revised} seeds its initial basis from these. *)
+
+val row_relation : t -> int -> relation
+(** Sense of row [i], in input order. *)
+
+val rhs : t -> float array
+(** Right-hand side, a fresh copy in row order. *)
+
+val obj : t -> int -> float
+(** Objective coefficient of a column (0 on slack columns). *)
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+(** [iter_col t j f] calls [f row value] for each stored nonzero of
+    column [j], in increasing row order. *)
+
+val col_list : t -> int -> (int * float) list
+(** Column [j] as a [(row, value)] list in increasing row order. *)
+
+val dot_col : t -> int -> float array -> float
+(** [dot_col t j y] is [y · a_j] — the pricing kernel. *)

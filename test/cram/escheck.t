@@ -2,6 +2,7 @@ The verification harness lists its relation catalogue:
 
   $ escheck --list
   lp-cert                  every simplex optimum of the VDD LP carries a valid primal-dual certificate
+  lp-warm                  warm-started LP re-optimisation matches cold solves and stays certified
   kkt                      every continuous barrier result satisfies the KKT optimality conditions
   deadline-scaling         doubling the deadline halves continuous speeds and quarters the energy
   work-scaling             doubling all weights doubles continuous speeds and multiplies energy by 8
@@ -17,6 +18,7 @@ A small seeded run is deterministic, passes, and writes a JSON report:
   escheck: base seed 1, 5 trials per relation
   
     lp-cert                      5 run     5 pass     0 skip     0 fail
+    lp-warm                      5 run     5 pass     0 skip     0 fail
     kkt                          5 run     5 pass     0 skip     0 fail
     deadline-scaling             5 run     5 pass     0 skip     0 fail
     work-scaling                 5 run     5 pass     0 skip     0 fail

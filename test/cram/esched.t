@@ -15,6 +15,38 @@ solve it under two models, and check the validator's verdict.
   n=5 p=4 Dmin=5.2286 deadline=10.4572 model=vdd-hopping
   engine: vdd-hopping LP (provably optimal)
 
+The VDD-HOPPING Pareto sweep warm-starts each LP from the previous
+deadline's optimal basis; the front is pinned identical under cold
+solves and under a parallel sweep.
+
+  $ esched pareto -w fork -n 4 --seed 7 --vdd
+  Energy/deadline front (BI-CRIT, vdd-hopping LP, warm starts)
+  D/Dmin  energy   #re-executed
+  -----------------------------
+    1.05  9.25112             0
+    1.20  6.90623             0
+    1.50  4.39611             0
+    2.00  2.55273             0
+    2.50  1.72444             0
+    3.00  1.34798             0
+    4.00  0.73006             0
+    6.00  0.47909             0
+  
+
+  $ esched pareto -w fork -n 4 --seed 7 --vdd --cold --jobs 4 | tail -8
+    1.20  6.90623             0
+    1.50  4.39611             0
+    2.00  2.55273             0
+    2.50  1.72444             0
+    3.00  1.34798             0
+    4.00  0.73006             0
+    6.00  0.47909             0
+  
+
+  $ esched pareto -w fork -n 4 --seed 7 --vdd --stats | grep -E "lp_solves|lp_warm_starts"
+    lp_solves                                       8
+    lp_warm_starts                                  7
+
 TRI-CRIT with reliability engages re-execution machinery end to end.
 
   $ esched solve -w fork -n 4 --seed 7 -m continuous -r --slack 3 | grep validation

@@ -271,3 +271,342 @@ let duals_cases =
   ]
 
 let suite = (fst suite, snd suite @ duals_cases)
+
+(* --- revised simplex: differential harness --------------------------- *)
+
+(* The revised sparse core (Sparse + Lu + Revised) is locked against
+   the retained dense tableau (Simplex.solve_dense): agreement on
+   outcome class, objective to rtol 1e-8, and Lp_cert certification of
+   both solvers' duals, over seeded random LPs with mixed row senses —
+   plus warm-started re-solves against cold solves of the same
+   restated problem. *)
+
+module Sparse = Es_lp.Sparse
+module Revised = Es_lp.Revised
+module Lu = Es_lp.Lu
+module Lp_cert = Es_check.Lp_cert
+module CGen = Es_check.Gen
+
+let close_rel ?(rtol = 1e-8) a b =
+  Float.abs (a -. b)
+  <= rtol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let is_certified ~obj ~constraints outcome =
+  match Lp_cert.certify_outcome ~obj ~constraints outcome with
+  | Some (Lp_cert.Certified _) -> true
+  | Some (Lp_cert.Rejected _) -> false
+  | None -> true (* Infeasible/Unbounded claims carry no certificate *)
+
+let outcomes_agree a b =
+  match (a, b) with
+  | Simplex.Optimal { objective = oa; _ }, Simplex.Optimal { objective = ob; _ }
+    ->
+    close_rel oa ob
+  | Simplex.Infeasible, Simplex.Infeasible -> true
+  | Simplex.Unbounded, Simplex.Unbounded -> true
+  | _ -> false
+
+(* mixed-sense random LP; mostly positive objectives so a decent
+   fraction is bounded, with a sprinkle of negative costs to exercise
+   the Unbounded class on both solvers *)
+let random_lp rng =
+  let n = 2 + Es_util.Rng.int rng 3 in
+  let m = 2 + Es_util.Rng.int rng 4 in
+  let rows =
+    List.init m (fun _ ->
+        let coeffs =
+          Array.init n (fun _ ->
+              if Es_util.Rng.uniform_in rng 0. 1. < 0.25 then 0.
+              else Es_util.Rng.uniform_in rng (-2.) 2.)
+        in
+        let relation =
+          match Es_util.Rng.int rng 3 with
+          | 0 -> Simplex.Le
+          | 1 -> Simplex.Ge
+          | _ -> Simplex.Eq
+        in
+        constr coeffs relation (Es_util.Rng.uniform_in rng (-2.) 4.))
+  in
+  let obj =
+    Array.init n (fun _ ->
+        if Es_util.Rng.uniform_in rng 0. 1. < 0.85 then
+          Es_util.Rng.uniform_in rng 0.1 2.
+        else Es_util.Rng.uniform_in rng (-1.) 0.)
+  in
+  (obj, rows)
+
+let qcheck_differential_random =
+  QCheck.Test.make
+    ~name:"differential: revised vs dense on random mixed-sense LPs" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Es_util.Rng.create ~seed in
+      let obj, rows = random_lp rng in
+      let dense = Simplex.solve_dense ~obj rows in
+      let revised = Simplex.solve ~obj rows in
+      outcomes_agree dense revised
+      && is_certified ~obj ~constraints:rows dense
+      && is_certified ~obj ~constraints:rows revised)
+
+let qcheck_differential_warm_random =
+  QCheck.Test.make
+    ~name:"differential: warm restart vs cold on perturbed rhs" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Es_util.Rng.create ~seed:(seed + 7_000_000) in
+      let obj, rows = random_lp rng in
+      let sp = Sparse.of_rows ~obj rows in
+      match Revised.solve sp with
+      | Simplex.Infeasible, _ | Simplex.Unbounded, _ -> true
+      | Simplex.Optimal _, None -> false (* optimal must return its basis *)
+      | Simplex.Optimal _, Some basis ->
+        (* restate the same columns at a perturbed rhs: warm from the
+           old basis must agree with a cold solve, and its duals must
+           certify *)
+        let rhs' =
+          Array.map
+            (fun v -> (v *. Es_util.Rng.uniform_in rng 0.8 1.2) +. 0.1)
+            (Sparse.rhs sp)
+        in
+        let sp' = Sparse.with_rhs sp rhs' in
+        let rows' =
+          List.mapi
+            (fun i (r : Simplex.constr) -> { r with rhs = rhs'.(i) })
+            rows
+        in
+        let warm, _ = Revised.solve_from basis sp' in
+        let cold, _ = Revised.solve sp' in
+        outcomes_agree warm cold
+        && is_certified ~obj ~constraints:rows' warm)
+
+(* Structured instances: the Section-IV VDD LP over Es_check.Gen's
+   shrinking generator, cold + warm (restated at a looser deadline)
+   against the dense reference. *)
+let qcheck_differential_vdd =
+  QCheck2.Test.make
+    ~name:"differential: vdd LP dense vs revised, cold and warm" ~count:250
+    ~print:CGen.qprint (CGen.qgen ())
+    (fun inst ->
+      let mapping = CGen.mapping inst in
+      let levels = inst.CGen.levels in
+      let deadline = CGen.deadline inst in
+      let check_at ?basis deadline =
+        let lp = Bicrit_vdd.lp ~deadline ~levels mapping in
+        let obj = Problem.objective_coeffs lp in
+        let rows = Problem.constraints lp in
+        let dense = Simplex.solve_dense ~obj rows in
+        let outcome, next = Problem.solve_warm ?basis lp in
+        let ok =
+          match (dense, outcome) with
+          | Simplex.Optimal { objective = od; _ }, Problem.Solution s ->
+            close_rel od (Problem.objective s)
+            && (match Lp_cert.certify_problem lp s with
+               | Lp_cert.Certified _ -> true
+               | Lp_cert.Rejected _ -> false)
+          | Simplex.Infeasible, Problem.Infeasible -> true
+          | Simplex.Unbounded, Problem.Unbounded -> true
+          | _ -> false
+        in
+        (ok, next)
+      in
+      let ok_cold, basis = check_at deadline in
+      ok_cold
+      &&
+      match basis with
+      | None -> true
+      | Some _ ->
+        fst (check_at ?basis deadline) (* warm re-solve of the same LP *)
+        && fst (check_at ?basis (1.25 *. deadline))
+        && fst (check_at ?basis (0.8 *. deadline)))
+
+(* --- degeneracy regression corpus ------------------------------------ *)
+
+(* Beale's classic cycling LP: Dantzig pricing with fixed tie-breaking
+   can cycle forever on it; Bland's rule terminates.  Optimum −0.05 at
+   x = (0.04, 0, 1, 0). *)
+let beale_obj = [| -0.75; 150.; -0.02; 6. |]
+
+let beale_rows =
+  [
+    constr [| 0.25; -60.; -0.04; 9. |] Simplex.Le 0.;
+    constr [| 0.5; -90.; -0.02; 3. |] Simplex.Le 0.;
+    constr [| 0.; 0.; 1.; 0. |] Simplex.Le 1.;
+  ]
+
+let test_beale_terminates () =
+  match Simplex.solve ~obj:beale_obj beale_rows with
+  | Simplex.Optimal { objective; solution; _ } ->
+    check_float "objective" (-0.05) objective;
+    check_float "x3 at bound" 1. solution.(2)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_beale_pure_bland () =
+  (* bland_after:1 forces Bland's rule from the first pivot *)
+  match Revised.solve ~bland_after:1 (Sparse.of_rows ~obj:beale_obj beale_rows) with
+  | Simplex.Optimal { objective; _ }, Some _ -> check_float "objective" (-0.05) objective
+  | _ -> Alcotest.fail "expected optimal with basis"
+
+let test_duplicate_row_ties () =
+  (* duplicated rows make every ratio-test step a tie at the same rhs:
+     the Bland tie-break on basis index must still terminate *)
+  let rows =
+    [
+      constr [| 1.; 1. |] Simplex.Le 2.;
+      constr [| 1.; 1. |] Simplex.Le 2.;
+      constr [| 1.; 1. |] Simplex.Le 2.;
+      constr [| 2.; 2. |] Simplex.Le 4.;
+      constr [| 1.; 0. |] Simplex.Le 1.5;
+    ]
+  in
+  let obj = [| -1.; -1. |] in
+  (match Simplex.solve ~obj rows with
+  | Simplex.Optimal { objective; _ } -> check_float "revised" (-2.) objective
+  | _ -> Alcotest.fail "expected optimal");
+  match Simplex.solve_dense ~obj rows with
+  | Simplex.Optimal { objective; _ } -> check_float "dense" (-2.) objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_refactor_threshold () =
+  (* refactor_every:1 rebuilds the LU at every pivot; the result must
+     match the eta-file path, and the refactorisation counter must show
+     the threshold actually firing *)
+  let rng = Es_util.Rng.create ~seed:4242 in
+  let obj, rows = random_lp rng in
+  let sp = Sparse.of_rows ~obj rows in
+  let c_refactor = Es_obs.Obs.counter "simplex_refactorizations" in
+  let before = Es_obs.Obs.value c_refactor in
+  Es_obs.Obs.enable ();
+  let eager =
+    Fun.protect
+      ~finally:(fun () -> Es_obs.Obs.disable ())
+      (fun () -> Revised.solve ~refactor_every:1 sp)
+  in
+  let lazy_ = Revised.solve ~refactor_every:10_000 sp in
+  (match (fst eager, fst lazy_) with
+  | Simplex.Optimal { objective = a; _ }, Simplex.Optimal { objective = b; _ } ->
+    check_float "same optimum" a b
+  | Simplex.Infeasible, Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "outcome mismatch across refactor thresholds");
+  Alcotest.(check bool) "refactorisations counted" true
+    (Es_obs.Obs.value c_refactor > before)
+
+(* --- LU reconstruction property -------------------------------------- *)
+
+(* After k product-form updates, the factorisation must still solve
+   against the *current* basis matrix: B·ftran(b) ≈ b and
+   Bᵀ·btran-consistency (column · y = c), both to rtol 1e-10 — the
+   L·U ≈ B reconstruction check, phrased through the solves the
+   simplex actually uses. *)
+let qcheck_lu_reconstruction =
+  QCheck.Test.make ~name:"lu: reconstruction after k eta updates" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Es_util.Rng.create ~seed:(seed + 11) in
+      let m = 3 + Es_util.Rng.int rng 18 in
+      (* diagonally dominant random sparse columns: nonsingular.  Rows
+         are unique within a column, like any real CSC column. *)
+      let random_col k =
+        let seen = Array.make m false in
+        seen.(k) <- true;
+        let entries = ref [ (k, 2. +. Es_util.Rng.uniform_in rng 0. 2.) ] in
+        for _ = 1 to Es_util.Rng.int rng 3 do
+          let r = Es_util.Rng.int rng m in
+          if not seen.(r) then begin
+            seen.(r) <- true;
+            entries := (r, Es_util.Rng.uniform_in rng (-0.5) 0.5) :: !entries
+          end
+        done;
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) !entries
+      in
+      let cols = Array.init m random_col in
+      let lu = Lu.factor ~m ~col:(fun k -> cols.(k)) (Array.init m Fun.id) in
+      (* k eta updates, each replacing a random position with a fresh
+         column; keep the shadow matrix in sync *)
+      let k_updates = 1 + Es_util.Rng.int rng 8 in
+      for _ = 1 to k_updates do
+        let pos = Es_util.Rng.int rng m in
+        let fresh = random_col pos in
+        let a = Array.make m 0. in
+        List.iter (fun (r, v) -> a.(r) <- v) fresh;
+        let w = Lu.ftran lu a in
+        match Lu.update lu ~pos ~w with
+        | () -> cols.(pos) <- fresh
+        | exception Lu.Unstable -> () (* skip the swap, keep B in sync *)
+      done;
+      let mat_vec x =
+        let out = Array.make m 0. in
+        Array.iteri
+          (fun k col -> List.iter (fun (r, v) -> out.(r) <- out.(r) +. (v *. x.(k))) col)
+          cols;
+        out
+      in
+      let b = Array.init m (fun _ -> Es_util.Rng.uniform_in rng (-3.) 3.) in
+      let x = Lu.ftran lu (Array.copy b) in
+      let recon = mat_vec x in
+      let scale =
+        Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1. b
+      in
+      let ftran_ok =
+        Array.for_all2
+          (fun a b -> Float.abs (a -. b) <= 1e-10 *. scale)
+          recon b
+      in
+      (* Bᵀ y = c  ⇔  (column k) · y = c_k for every k *)
+      let c = Array.init m (fun _ -> Es_util.Rng.uniform_in rng (-3.) 3.) in
+      let y = Lu.btran lu (Array.copy c) in
+      let cscale =
+        Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1. c
+      in
+      let btran_ok =
+        Array.for_all (fun k ->
+            let dot =
+              List.fold_left (fun acc (r, v) -> acc +. (v *. y.(r))) 0. cols.(k)
+            in
+            Float.abs (dot -. c.(k)) <= 1e-10 *. cscale)
+          (Array.init m Fun.id)
+      in
+      ftran_ok && btran_ok)
+
+let test_lu_singular_detected () =
+  (* two identical columns: factor must raise Singular *)
+  let cols = [| [ (0, 1.); (1, 1.) ]; [ (0, 1.); (1, 1.) ] |] in
+  match Lu.factor ~m:2 ~col:(fun k -> cols.(k)) [| 0; 1 |] with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Lu.Singular -> ()
+
+let test_warm_stale_basis_falls_back () =
+  (* a basis from one LP handed to a structurally different LP must
+     degrade to a cold solve, not crash or mis-certify *)
+  let obj = [| 1.; 1. |] in
+  let rows1 = [ constr [| 1.; 2. |] Simplex.Ge 4.; constr [| 3.; 1. |] Simplex.Ge 6. ] in
+  let sp1 = Sparse.of_rows ~obj rows1 in
+  match Revised.solve sp1 with
+  | _, None -> Alcotest.fail "expected a basis"
+  | _, Some basis ->
+    let rows2 =
+      [
+        constr [| 1.; 1. |] Simplex.Le 4.;
+        constr [| 0.; 1. |] Simplex.Le 3.;
+        constr [| 1.; 0. |] Simplex.Le 3.;
+      ]
+    in
+    let sp2 = Sparse.of_rows ~obj:[| -1.; -2. |] rows2 in
+    (match Revised.solve_from basis sp2 with
+    | Simplex.Optimal { objective; _ }, Some _ -> check_float "objective" (-7.) objective
+    | _ -> Alcotest.fail "expected optimal via fallback")
+
+let revised_cases =
+  [
+    QCheck_alcotest.to_alcotest qcheck_differential_random;
+    QCheck_alcotest.to_alcotest qcheck_differential_warm_random;
+    QCheck_alcotest.to_alcotest qcheck_differential_vdd;
+    Alcotest.test_case "beale terminates (dantzig+fallback)" `Quick test_beale_terminates;
+    Alcotest.test_case "beale under pure bland" `Quick test_beale_pure_bland;
+    Alcotest.test_case "duplicate-row rhs ties" `Quick test_duplicate_row_ties;
+    Alcotest.test_case "refactorisation threshold" `Quick test_refactor_threshold;
+    QCheck_alcotest.to_alcotest qcheck_lu_reconstruction;
+    Alcotest.test_case "lu singular detected" `Quick test_lu_singular_detected;
+    Alcotest.test_case "stale warm basis falls back" `Quick test_warm_stale_basis_falls_back;
+  ]
+
+let suite = (fst suite, snd suite @ revised_cases)

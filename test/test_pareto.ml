@@ -82,6 +82,51 @@ let test_pipeline_all_models () =
           (report.Sim.success_rate >= 0. && report.Sim.success_rate <= 1.))
     schedules
 
+(* Warm-start invariance: the vdd front computed with warm-chained
+   bases must equal the all-cold front point-for-point, and must not
+   depend on how many pool domains execute the 25-deadline blocks.
+   rtol 1e-9 — warm and cold solves land on the same optimal basis, so
+   the agreement is near-exact, not merely approximate. *)
+let check_fronts_equal ~rtol name a b =
+  Alcotest.(check int) (name ^ ": same length") (List.length a) (List.length b);
+  List.iter2
+    (fun (p : Pareto.point) (q : Pareto.point) ->
+      Alcotest.(check (float 0.)) (name ^ ": same deadline") p.deadline q.deadline;
+      let scale = Float.max 1. (Float.abs p.energy) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: energy %.12g ~ %.12g" name p.energy q.energy)
+        true
+        (Float.abs (p.energy -. q.energy) <= rtol *. scale))
+    a b
+
+let test_vdd_warm_front_invariance () =
+  let levels = [| 0.2; 0.4; 0.6; 0.8; 1.0 |] in
+  List.iter
+    (fun seed ->
+      let rng = Es_util.Rng.create ~seed in
+      let dag =
+        Generators.random_layered rng ~layers:4 ~width:3 ~density:0.5 ~wlo:1. ~whi:3.
+      in
+      let m = List_sched.schedule dag ~p:2 ~priority:List_sched.Bottom_level in
+      let dmin = List_sched.makespan_at_speed m ~f:1. in
+      (* more deadlines than one 25-block, so chaining + the block
+         partition are both exercised *)
+      let deadlines =
+        List.init 30 (fun i -> dmin *. (1.02 +. (0.07 *. float_of_int i)))
+      in
+      let cold = Pareto.bicrit_vdd_front ~warm:false ~levels ~deadlines m in
+      let warm = Pareto.bicrit_vdd_front ~warm:true ~levels ~deadlines m in
+      check_fronts_equal ~rtol:1e-9 (Printf.sprintf "seed %d warm=cold" seed) cold warm;
+      let warm_par =
+        Es_par.Pool.with_pool ~domains:4 (fun pool ->
+            Pareto.bicrit_vdd_front ~pool ~warm:true ~levels ~deadlines m)
+      in
+      check_fronts_equal ~rtol:0. (Printf.sprintf "seed %d jobs1=jobs4" seed) warm
+        warm_par;
+      Alcotest.(check bool) (Printf.sprintf "seed %d is a front" seed) true
+        (Pareto.is_front warm))
+    [ 407; 408 ]
+
 let test_pipeline_tricrit_with_simulation () =
   let rng = Es_util.Rng.create ~seed:405 in
   let dag = Generators.chain rng ~n:6 ~wlo:1. ~whi:2. in
@@ -118,6 +163,7 @@ let suite =
       Alcotest.test_case "tricrit front" `Slow test_tricrit_front;
       Alcotest.test_case "dominates" `Quick test_dominates;
       Alcotest.test_case "is_front rejects dominated" `Quick test_is_front_rejects_dominated;
+      Alcotest.test_case "vdd warm front invariance" `Slow test_vdd_warm_front_invariance;
       Alcotest.test_case "pipeline all models" `Slow test_pipeline_all_models;
       Alcotest.test_case "pipeline tricrit + simulation" `Slow
         test_pipeline_tricrit_with_simulation;
